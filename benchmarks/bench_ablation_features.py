@@ -1,0 +1,65 @@
+"""Ablation: labeling accuracy vs number of features.
+
+Sec. III-A: "extracting the ten most relevant features offers a proper
+trade-off between accuracy and complexity."  This bench sweeps the
+feature count used by Algorithm 1 (prefixes of the paper's 10, ordered
+as listed in the paper) on a small patient subset and reports the mean
+deviation — accuracy should degrade as features are dropped and saturate
+near the full set, while cost grows linearly in F.
+"""
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import APosterioriLabeler, deviation
+from repro.features import Paper10FeatureExtractor, extract_features
+
+PATIENTS = (1, 8)
+FEATURE_COUNTS = (2, 4, 6, 8, 10)
+
+
+def test_ablation_feature_count(benchmark, bench_dataset):
+    extractor = Paper10FeatureExtractor()
+    labeler = APosterioriLabeler()
+
+    # Extract each record's full 10-feature matrix once; reuse prefixes.
+    cases = []
+    for pid in PATIENTS:
+        for sid in (0, 1):
+            record = bench_dataset.generate_sample(pid, sid, 0)
+            feats = extract_features(record, extractor)
+            w = labeler.window_length_for(
+                bench_dataset.mean_seizure_duration(pid)
+            )
+            cases.append((record, feats.values, w))
+
+    def sweep():
+        out = {}
+        for count in FEATURE_COUNTS:
+            deltas = []
+            for record, values, w in cases:
+                det = labeler.label_features(values[:, :count], w)
+                truth = record.annotations[0]
+                pred_onset = det.position * 1.0
+                deltas.append(
+                    0.5
+                    * (
+                        abs(truth.onset_s - pred_onset)
+                        + abs(truth.offset_s - (pred_onset + w))
+                    )
+                )
+            out[count] = float(np.mean(deltas))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "labeling deviation vs feature count (patients 1 & 8, 2 seizures each)",
+        ["n_features", "mean delta (s)"],
+        [[k, f"{v:.1f}"] for k, v in results.items()],
+    )
+    save_results("ablation_features", {"mean_delta_by_count": results})
+    benchmark.extra_info.update({str(k): v for k, v in results.items()})
+
+    # Using all 10 features is no worse than the 2-feature ablation.
+    assert results[10] <= results[2] + 5.0

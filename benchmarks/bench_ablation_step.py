@@ -1,0 +1,63 @@
+"""Ablation: the every-fourth-point subsampling of Algorithm 1.
+
+Sec. IV: "by taking every fourth point, redundant information is avoided
+and the complexity is reduced."  This bench sweeps the grid step,
+checking that (a) accuracy is essentially flat from step 1 to step 4
+(the 75% window overlap makes every fourth point sufficient), and
+(b) cost falls linearly with the step.
+"""
+
+import time
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import APosterioriLabeler, deviation
+from repro.features import Paper10FeatureExtractor, extract_features
+
+STEPS = (1, 2, 4, 8, 16)
+
+
+def test_ablation_grid_step(benchmark, bench_dataset):
+    extractor = Paper10FeatureExtractor()
+    cases = []
+    for pid, sid in ((1, 0), (9, 0)):
+        record = bench_dataset.generate_sample(pid, sid, 0)
+        feats = extract_features(record, extractor)
+        w = int(round(bench_dataset.mean_seizure_duration(pid)))
+        cases.append((record, feats.values, w))
+
+    def sweep():
+        out = {}
+        for step in STEPS:
+            labeler = APosterioriLabeler(grid_step=step)
+            deltas, elapsed = [], 0.0
+            for record, values, w in cases:
+                start = time.perf_counter()
+                det = labeler.label_features(values, w)
+                elapsed += time.perf_counter() - start
+                truth = record.annotations[0]
+                deltas.append(
+                    0.5
+                    * (
+                        abs(truth.onset_s - det.position)
+                        + abs(truth.offset_s - (det.position + w))
+                    )
+                )
+            out[step] = (float(np.mean(deltas)), elapsed)
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "grid-step ablation (2 records)",
+        ["step", "mean delta (s)", "detect time (s)"],
+        [[k, f"{d:.1f}", f"{t:.3f}"] for k, (d, t) in results.items()],
+    )
+    save_results(
+        "ablation_step",
+        {str(k): {"mean_delta_s": d, "seconds": t} for k, (d, t) in results.items()},
+    )
+
+    # The paper's step of 4 must not cost accuracy vs exhaustive step 1.
+    assert abs(results[4][0] - results[1][0]) < 5.0

@@ -1,0 +1,173 @@
+"""Fig. 4 + Sec. VI-B: detector trained on expert vs algorithm labels.
+
+Paper: geometric mean across subjects 94.95% with expert labels vs 92.60%
+with algorithm labels — a degradation of 2.35 percentage points (2.43 pp
+sensitivity, 2.26 pp specificity).  The shape to reproduce: both trainings
+work well, per-patient gmeans are high, and the self-label degradation is
+small (a few points), concentrated in the artifact-outlier patients.
+
+Protocol per patient (Sec. VI-B): balanced training set from 2-3 of the
+subject's seizures, evaluated on a held-out record of the same subject
+against expert labels.  Features are the 54-per-channel e-Glass family;
+to keep runtimes tractable the e-Glass features of each training record
+are extracted once and relabeled per annotation source.
+
+Set ``REPRO_FIG4_PATIENTS`` (comma-separated ids) to restrict the cohort.
+"""
+
+import os
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import APosterioriLabeler
+from repro.features import EGlassFeatureExtractor, extract_features
+from repro.ml import RandomForestClassifier, classification_report
+from repro.features.normalize import ZScoreScaler
+from repro.signals.windowing import WindowSpec
+
+SPEC = WindowSpec(4.0, 1.0)
+
+
+def _patients():
+    raw = os.environ.get("REPRO_FIG4_PATIENTS", "")
+    if raw:
+        return [int(v) for v in raw.split(",")]
+    return list(range(1, 10))
+
+
+def _window_labels(annotation, n_windows, min_overlap=0.5):
+    """Per-window labels for one annotation under the bench geometry."""
+    labels = np.zeros(n_windows, dtype=np.int64)
+    for i in range(n_windows):
+        t0 = i * SPEC.step_s
+        t1 = t0 + SPEC.length_s
+        inter = max(0.0, min(annotation.offset_s, t1) - max(annotation.onset_s, t0))
+        if inter >= min_overlap * SPEC.length_s:
+            labels[i] = 1
+    return labels
+
+
+def _balanced(values, labels, rng):
+    pos = np.where(labels == 1)[0]
+    neg = np.where(labels == 0)[0]
+    n = min(pos.size, neg.size)
+    idx = np.concatenate(
+        [rng.choice(pos, n, replace=False), rng.choice(neg, n, replace=False)]
+    )
+    rng.shuffle(idx)
+    return values[idx], labels[idx]
+
+
+def _train_and_eval(train_feats, train_labels, test_feats, test_labels, seed):
+    rng = np.random.default_rng(seed)
+    x, y = _balanced(np.vstack(train_feats), np.concatenate(train_labels), rng)
+    scaler = ZScoreScaler()
+    forest = RandomForestClassifier(
+        n_estimators=30, max_depth=10, class_weight="balanced", random_state=seed
+    )
+    forest.fit(scaler.fit_transform(x), y)
+    proba = forest.predict_proba(scaler.transform(test_feats))
+    pos_col = int(np.where(forest.classes_ == 1)[0][0])
+    pred = (proba[:, pos_col] >= 0.5).astype(np.int64)
+    return classification_report(test_labels, pred)
+
+
+def _run_patient(bench_dataset, extractor, labeler, patient_id):
+    n = len(bench_dataset.seizure_events(patient_id))
+    train_ids = list(range(min(3, n - 1)))
+    test_id = n - 1
+
+    train_feats, expert_labels, algo_labels = [], [], []
+    for sid in train_ids:
+        rec = bench_dataset.generate_sample(patient_id, sid, 0)
+        feats = extract_features(rec, extractor, SPEC)
+        train_feats.append(feats.values)
+        expert_labels.append(_window_labels(rec.annotations[0], feats.n_windows))
+        self_label = labeler.label(
+            rec, bench_dataset.mean_seizure_duration(patient_id)
+        ).annotation
+        algo_labels.append(_window_labels(self_label, feats.n_windows))
+
+    test_rec = bench_dataset.generate_sample(patient_id, test_id, 0)
+    test_fm = extract_features(test_rec, extractor, SPEC)
+    test_labels = _window_labels(test_rec.annotations[0], test_fm.n_windows)
+
+    rep_e = _train_and_eval(
+        train_feats, expert_labels, test_fm.values, test_labels, seed=patient_id
+    )
+    rep_a = _train_and_eval(
+        train_feats, algo_labels, test_fm.values, test_labels, seed=patient_id
+    )
+    return rep_e, rep_a
+
+
+def test_fig4_expert_vs_algorithm_labels(benchmark, bench_dataset):
+    extractor = EGlassFeatureExtractor()
+    labeler = APosterioriLabeler()
+    patients = _patients()
+
+    results = {}
+
+    def run_all():
+        for pid in patients:
+            results[pid] = _run_patient(bench_dataset, extractor, labeler, pid)
+        return results
+
+    benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for pid, (rep_e, rep_a) in results.items():
+        rows.append(
+            [
+                pid,
+                f"{100 * rep_e.geometric_mean:.1f}",
+                f"{100 * rep_a.geometric_mean:.1f}",
+                f"{100 * (rep_e.geometric_mean - rep_a.geometric_mean):+.1f}",
+            ]
+        )
+    print_table(
+        "Fig. 4: per-patient geometric mean (%): expert vs algorithm labels",
+        ["patient", "expert", "algorithm", "degradation"],
+        rows,
+    )
+
+    gmean_e = float(np.mean([r.geometric_mean for r, _ in results.values()]))
+    gmean_a = float(np.mean([r.geometric_mean for _, r in results.values()]))
+    sens_e = float(np.mean([r.sensitivity for r, _ in results.values()]))
+    sens_a = float(np.mean([r.sensitivity for _, r in results.values()]))
+    spec_e = float(np.mean([r.specificity for r, _ in results.values()]))
+    spec_a = float(np.mean([r.specificity for _, r in results.values()]))
+    print(
+        f"mean gmean: expert {100 * gmean_e:.2f}% vs algorithm "
+        f"{100 * gmean_a:.2f}% -> degradation "
+        f"{100 * (gmean_e - gmean_a):.2f} pp (paper: 94.95 vs 92.60, 2.35 pp)"
+    )
+    print(
+        f"sensitivity degradation {100 * (sens_e - sens_a):.2f} pp (paper 2.43); "
+        f"specificity degradation {100 * (spec_e - spec_a):.2f} pp (paper 2.26)"
+    )
+    save_results(
+        "fig4_validation",
+        {
+            "per_patient": {
+                pid: {
+                    "expert_gmean": rep_e.geometric_mean,
+                    "algorithm_gmean": rep_a.geometric_mean,
+                }
+                for pid, (rep_e, rep_a) in results.items()
+            },
+            "mean_expert_gmean": gmean_e,
+            "mean_algorithm_gmean": gmean_a,
+            "degradation_pp": 100 * (gmean_e - gmean_a),
+            "paper": {"expert": 0.9495, "algorithm": 0.9260, "degradation_pp": 2.35},
+        },
+    )
+    benchmark.extra_info["expert_gmean"] = gmean_e
+    benchmark.extra_info["algorithm_gmean"] = gmean_a
+
+    # Shape assertions: both label sources yield working detectors and the
+    # self-label cost stays small.
+    assert gmean_e > 0.80
+    assert gmean_a > 0.70
+    assert (gmean_e - gmean_a) < 0.15

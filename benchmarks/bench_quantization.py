@@ -1,0 +1,64 @@
+"""Ablation: fixed-point feature precision on the edge MCU.
+
+The STM32L151 has no FPU, so a production port of Algorithm 1 quantizes
+the z-scored features.  This bench sweeps the fractional bit width and
+measures how often the detected position survives quantization compared
+to float64 — the deployment-readiness number behind the paper's "runs on
+the wearable" claim.  Expected shape: Q4.11 (16-bit) is loss-free; the
+position degrades only below ~8 total bits.
+"""
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import APosterioriLabeler, a_posteriori_fast
+from repro.core.algorithm import _normalize
+from repro.features import Paper10FeatureExtractor, extract_features
+from repro.platform.quantization import QFormat, dequantize, quantize
+
+FORMATS = [QFormat(4, fb) for fb in (1, 3, 5, 7, 11)]
+
+
+def test_quantized_labeling(benchmark, bench_dataset):
+    extractor = Paper10FeatureExtractor()
+    labeler = APosterioriLabeler()
+
+    cases = []
+    for pid, sid in ((1, 0), (8, 0), (9, 1)):
+        record = bench_dataset.generate_sample(pid, sid, 0)
+        feats = extract_features(record, extractor)
+        w = labeler.window_length_for(bench_dataset.mean_seizure_duration(pid))
+        z = _normalize(feats.values)
+        exact = a_posteriori_fast(z, w, normalize=False)
+        cases.append((z, w, exact.position))
+
+    def sweep():
+        out = {}
+        for fmt in FORMATS:
+            drifts = []
+            for z, w, exact_pos in cases:
+                fixed = a_posteriori_fast(
+                    dequantize(quantize(z, fmt), fmt), w, normalize=False
+                )
+                drifts.append(abs(fixed.position - exact_pos))
+            out[str(fmt)] = (float(np.mean(drifts)), int(np.max(drifts)))
+        return out
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    print_table(
+        "position drift vs feature precision (3 records)",
+        ["format", "bits", "mean |drift| (s)", "max |drift| (s)"],
+        [
+            [name, 4 + int(name.split(".")[1]) + 1, f"{mean:.1f}", mx]
+            for name, (mean, mx) in results.items()
+        ],
+    )
+    save_results(
+        "quantization",
+        {name: {"mean_drift": m, "max_drift": x} for name, (m, x) in results.items()},
+    )
+    benchmark.extra_info.update({k: v[0] for k, v in results.items()})
+
+    # 16-bit (Q4.11) must be positionally loss-free on every record.
+    assert results["Q4.11"][1] == 0

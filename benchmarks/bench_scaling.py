@@ -1,0 +1,66 @@
+"""Sec. IV complexity: O(L^2 W F) scaling of Algorithm 1.
+
+Benchmarks the fast implementation across signal lengths and checks the
+measured growth against the analytic operation count, plus the paper's
+claim that a 32 MHz Cortex-M3 processes "one second of signal in one
+second" — evaluated through the calibrated runtime model.
+"""
+
+import time
+
+import numpy as np
+from conftest import print_table, save_results
+
+from repro.core import a_posteriori_fast
+from repro.platform import RuntimeModel, operation_count
+
+
+def test_scaling_with_signal_length(benchmark):
+    rng = np.random.default_rng(0)
+    w, n_feat = 60, 10
+
+    def detect(length):
+        x = rng.standard_normal((length, n_feat))
+        x[length // 2 : length // 2 + w] += 3.0
+        return a_posteriori_fast(x, w)
+
+    # pytest-benchmark tracks the mid-size point; the sweep is timed
+    # manually around it.
+    benchmark.pedantic(lambda: detect(1800), rounds=3, iterations=1)
+
+    rows = []
+    timings = {}
+    for length in (450, 900, 1800, 3600):
+        start = time.perf_counter()
+        detect(length)
+        elapsed = time.perf_counter() - start
+        timings[length] = elapsed
+        ops = operation_count(length, w, n_feat)
+        rows.append([length, f"{elapsed * 1000:.0f}", f"{ops / 1e6:.0f}"])
+    print_table(
+        "Algorithm 1 host runtime vs signal length (W=60, F=10)",
+        ["L (s of signal)", "ms", "pseudo-code Mops"],
+        rows,
+    )
+
+    model = RuntimeModel()
+    factor_1h = model.realtime_factor(3600.0, w, n_feat)
+    print(f"modeled STM32L151 realtime factor for 1 h of signal: "
+          f"{factor_1h:.2f} (paper claims ~1)")
+
+    save_results(
+        "scaling",
+        {
+            "host_seconds": timings,
+            "modeled_realtime_factor_1h": factor_1h,
+        },
+    )
+    benchmark.extra_info["modeled_realtime_factor_1h"] = factor_1h
+
+    # The fast implementation is sub-quadratic in wall-clock, but the
+    # pseudo-code cost model must stay quadratic in (L - W).
+    ops_ratio = operation_count(3600, w, n_feat) / operation_count(1800, w, n_feat)
+    assert 3.5 < ops_ratio < 4.5
+    # Host runtime grows with L (monotone sweep).
+    values = [timings[k] for k in sorted(timings)]
+    assert values[-1] > values[0]

@@ -1,0 +1,84 @@
+"""Table I + headline: per-patient labeling deviation.
+
+Paper (Sec. VI-A): cohort medians delta = 10.1 s, delta_norm = 0.9935;
+per-patient delta from 3.2 s (patient 8) to 53.2 s (patient 2), delta_norm
+96.3-99.8%.  This bench regenerates those rows on the synthetic cohort.
+Absolute values shift with record duration (delta_norm scales with signal
+length); the shape to check is: single-digit-to-low-double-digit deltas,
+patient 2 worst, patients 8/9 best, delta_norm > 0.95 everywhere.
+"""
+
+from conftest import print_table, save_results
+
+PAPER_TABLE1 = {
+    1: (14.5, 0.990),
+    2: (53.2, 0.963),
+    3: (5.5, 0.996),
+    4: (15.9, 0.989),
+    5: (5.7, 0.996),
+    6: (11.5, 0.992),
+    7: (13.9, 0.991),
+    8: (3.2, 0.998),
+    9: (5.0, 0.997),
+}
+
+
+def test_table1_per_patient(benchmark, cohort_evaluation):
+    cohort, elapsed, samples = cohort_evaluation
+
+    # The evaluation itself runs once in the session fixture; benchmark the
+    # (cheap, deterministic) aggregation so pytest-benchmark records a
+    # stable kernel while the table reports the full experiment.
+    from repro.core import aggregate_cohort
+
+    all_scores = cohort.all_seizures()
+    benchmark.pedantic(lambda: aggregate_cohort(all_scores), rounds=3, iterations=1)
+
+    rows = []
+    for patient in cohort.patients:
+        paper_d, paper_n = PAPER_TABLE1[patient.patient_id]
+        rows.append(
+            [
+                patient.patient_id,
+                f"{patient.median_delta_s:.1f}",
+                f"{paper_d:.1f}",
+                f"{100 * patient.median_delta_norm:.1f}",
+                f"{100 * paper_n:.1f}",
+            ]
+        )
+    print_table(
+        f"Table I (measured vs paper), {samples} samples/seizure, "
+        f"{elapsed:.0f}s total",
+        ["patient", "delta_s", "paper", "dnorm_%", "paper_%"],
+        rows,
+    )
+    print(
+        f"headline: median delta = {cohort.median_delta_s:.1f} s "
+        f"(paper 10.1), median delta_norm = {cohort.median_delta_norm:.4f} "
+        f"(paper 0.9935)"
+    )
+    save_results(
+        "table1_per_patient",
+        {
+            "samples_per_seizure": samples,
+            "median_delta_s": cohort.median_delta_s,
+            "median_delta_norm": cohort.median_delta_norm,
+            "per_patient": {
+                p.patient_id: {
+                    "median_delta_s": p.median_delta_s,
+                    "median_delta_norm": p.median_delta_norm,
+                }
+                for p in cohort.patients
+            },
+        },
+    )
+    benchmark.extra_info["median_delta_s"] = cohort.median_delta_s
+    benchmark.extra_info["median_delta_norm"] = cohort.median_delta_norm
+
+    # Shape assertions: who wins / who loses must match the paper.
+    deltas = {p.patient_id: p.median_delta_s for p in cohort.patients}
+    assert cohort.median_delta_s < 30.0
+    assert cohort.median_delta_norm > 0.95
+    assert deltas[2] == max(deltas.values())  # patient 2 hardest
+    best_two = sorted(deltas, key=deltas.get)[:3]
+    assert 8 in best_two or 9 in best_two

@@ -1,0 +1,59 @@
+"""Confidence-gated self-labeling (extension of the paper).
+
+Table II shows three labels stolen by noise bursts near the seizure.
+The detection itself carries a warning sign: when an artifact competes
+with the seizure, the distance curve has *two* comparable peaks, so the
+normalized margin between the winner and the best non-overlapping
+competitor collapses.  This example scores that margin on clean records
+vs the cohort's artifact-shadowed ones, showing that a simple confidence
+threshold separates trustworthy self-labels from stolen ones — the gate
+``SelfLearningPipeline(min_confidence=...)`` applies.
+
+Run:
+    python examples/label_confidence.py
+"""
+
+from repro import APosterioriLabeler, SyntheticEEGDataset, deviation
+from repro.core import label_confidence, top_k_detections
+
+
+def main() -> None:
+    dataset = SyntheticEEGDataset(duration_range_s=(480.0, 720.0))
+    labeler = APosterioriLabeler()
+
+    # Clean seizures vs the three artifact-shadowed ones (patients 2/3/4).
+    cases = [
+        ("clean", 1, 0), ("clean", 5, 0), ("clean", 8, 0), ("clean", 9, 0),
+        ("artifact", 2, 1), ("artifact", 3, 0), ("artifact", 4, 0),
+    ]
+    print(f"{'kind':>9s} {'patient':>8s} {'delta (s)':>10s} "
+          f"{'confidence':>11s} {'snr':>6s}")
+    for kind, pid, sid in cases:
+        record = dataset.generate_sample(pid, sid, 1)
+        result = labeler.label(record, dataset.mean_seizure_duration(pid))
+        diag = label_confidence(result.detection)
+        delta = deviation(record.annotations[0], result.annotation)
+        print(f"{kind:>9s} {pid:8d} {delta:10.1f} "
+              f"{diag.confidence:11.2f} {diag.snr:6.1f}")
+
+    print("\nLow confidence flags the artifact-shadowed detections: a"
+          "\nmin_confidence gate keeps them out of the training buffer.")
+
+    # Multi-seizure extension: two seizures in one flagged window.
+    record = dataset.generate_monitoring_record(
+        9, 1500.0, seizure_indices=[0, 1], min_gap_s=400.0
+    )
+    from repro.features import Paper10FeatureExtractor, extract_features
+    from repro.features.normalize import zscore
+
+    feats = extract_features(record, Paper10FeatureExtractor())
+    w = labeler.window_length_for(dataset.mean_seizure_duration(9))
+    detection = labeler.label_features(feats.values, w)
+    picks = top_k_detections(detection, k=2)
+    truths = [a.onset_s for a in record.annotations]
+    print(f"\ntwo-seizure record: true onsets at {[f'{t:.0f}' for t in truths]} s")
+    print(f"top-2 detections:   {[f'{p}' for p in sorted(picks)]} s")
+
+
+if __name__ == "__main__":
+    main()

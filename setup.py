@@ -1,0 +1,12 @@
+"""Setup shim.
+
+This offline environment lacks the ``wheel`` package, so the PEP 660
+editable-install route (``pip install -e .`` with build isolation) cannot
+build. This shim lets ``pip install -e . --no-use-pep517
+--no-build-isolation`` (or ``python setup.py develop``) perform a legacy
+editable install; all metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

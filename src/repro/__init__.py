@@ -1,0 +1,142 @@
+"""repro — reproduction of "A Self-Learning Methodology for Epileptic
+Seizure Detection with Minimally-Supervised Edge Labeling" (DATE 2019).
+
+The package is organized as one subpackage per subsystem:
+
+* :mod:`repro.core` — the paper's contribution: Algorithm 1 (a-posteriori
+  seizure labeling), the deviation metric and the evaluation protocol;
+* :mod:`repro.signals` — DWT / spectral / filtering / windowing substrate;
+* :mod:`repro.entropy` — permutation, Rényi, sample/approximate, Shannon;
+* :mod:`repro.data` — synthetic CHB-MIT-like cohort, records, EDF I/O;
+* :mod:`repro.features` — the 10 selected features, the e-Glass 54-feature
+  family, backward elimination;
+* :mod:`repro.ml` — random forest, clustering baselines, metrics;
+* :mod:`repro.selflearning` — the Fig. 1 closed loop;
+* :mod:`repro.platform` — the wearable power/battery/memory/runtime model.
+
+Quickstart::
+
+    from repro import SyntheticEEGDataset, APosterioriLabeler, deviation
+
+    dataset = SyntheticEEGDataset(duration_range_s=(600, 900))
+    record = dataset.generate_sample(patient_id=1, seizure_index=0)
+    labeler = APosterioriLabeler()
+    result = labeler.label(record, dataset.mean_seizure_duration(1))
+    print(deviation(record.annotations[0], result.annotation), "seconds off")
+"""
+
+from .core import (
+    APosterioriLabeler,
+    CohortScore,
+    DetectionResult,
+    LabelingResult,
+    PatientScore,
+    SeizureScore,
+    a_posteriori_fast,
+    a_posteriori_reference,
+    aggregate_cohort,
+    deviation,
+    fraction_within,
+    geometric_mean,
+    max_deviation,
+    normalized_deviation,
+    score_seizure,
+)
+from .data import (
+    EEGRecord,
+    PAPER_PATIENTS,
+    PatientProfile,
+    SeizureAnnotation,
+    SyntheticEEGDataset,
+    iter_evaluation_samples,
+    load_record,
+    patient_by_id,
+    save_record,
+)
+from .features import (
+    EGlassFeatureExtractor,
+    FeatureMatrix,
+    Paper10FeatureExtractor,
+    backward_elimination,
+    extract_features,
+    extract_labeled_features,
+)
+from .ml import (
+    KMeans,
+    KMedoids,
+    RandomForestClassifier,
+    build_balanced_training_set,
+    classification_report,
+    geometric_mean_score,
+)
+from .platform import (
+    MemoryBudget,
+    PowerBudget,
+    RuntimeModel,
+    Task,
+    WearablePlatform,
+    labeling_duty_cycle,
+)
+from .selflearning import (
+    PatientTrigger,
+    RealTimeDetector,
+    SelfLearningPipeline,
+    SelfLearningReport,
+)
+from .version import __version__
+
+__all__ = [
+    "__version__",
+    # core
+    "APosterioriLabeler",
+    "CohortScore",
+    "DetectionResult",
+    "LabelingResult",
+    "PatientScore",
+    "SeizureScore",
+    "a_posteriori_fast",
+    "a_posteriori_reference",
+    "aggregate_cohort",
+    "deviation",
+    "fraction_within",
+    "geometric_mean",
+    "max_deviation",
+    "normalized_deviation",
+    "score_seizure",
+    # data
+    "EEGRecord",
+    "PAPER_PATIENTS",
+    "PatientProfile",
+    "SeizureAnnotation",
+    "SyntheticEEGDataset",
+    "iter_evaluation_samples",
+    "load_record",
+    "patient_by_id",
+    "save_record",
+    # features
+    "EGlassFeatureExtractor",
+    "FeatureMatrix",
+    "Paper10FeatureExtractor",
+    "backward_elimination",
+    "extract_features",
+    "extract_labeled_features",
+    # ml
+    "KMeans",
+    "KMedoids",
+    "RandomForestClassifier",
+    "build_balanced_training_set",
+    "classification_report",
+    "geometric_mean_score",
+    # platform
+    "MemoryBudget",
+    "PowerBudget",
+    "RuntimeModel",
+    "Task",
+    "WearablePlatform",
+    "labeling_duty_cycle",
+    # selflearning
+    "PatientTrigger",
+    "RealTimeDetector",
+    "SelfLearningPipeline",
+    "SelfLearningReport",
+]

@@ -1,0 +1,44 @@
+"""The paper's primary contribution: Algorithm 1 and its evaluation
+machinery — reference and fast implementations, the high-level labeler,
+the deviation metric (Eqs. 1-2), and the Sec. VI-A aggregation protocol."""
+
+from .aggregation import (
+    CohortScore,
+    PatientScore,
+    SeizureScore,
+    aggregate_cohort,
+    fraction_within,
+    geometric_mean,
+    score_seizure,
+)
+from .algorithm import DetectionResult, a_posteriori_reference
+from .deviation import deviation, max_deviation, normalized_deviation
+from .diagnostics import LabelDiagnostics, label_confidence, top_k_detections
+from .fast import a_posteriori_fast, grid_distance_sums
+from .labeling import APosterioriLabeler, LabelingResult
+from .streaming import RollingFeatureBuffer, StreamingFeatureExtractor, StreamingLabeler
+
+__all__ = [
+    "CohortScore",
+    "PatientScore",
+    "SeizureScore",
+    "aggregate_cohort",
+    "fraction_within",
+    "geometric_mean",
+    "score_seizure",
+    "DetectionResult",
+    "a_posteriori_reference",
+    "deviation",
+    "max_deviation",
+    "normalized_deviation",
+    "a_posteriori_fast",
+    "grid_distance_sums",
+    "APosterioriLabeler",
+    "LabelingResult",
+    "LabelDiagnostics",
+    "label_confidence",
+    "top_k_detections",
+    "RollingFeatureBuffer",
+    "StreamingFeatureExtractor",
+    "StreamingLabeler",
+]

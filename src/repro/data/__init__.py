@@ -1,0 +1,78 @@
+"""EEG data substrate: montage, records, synthetic cohort, EDF I/O.
+
+Replaces the paper's CHB-MIT database (see DESIGN.md for the substitution
+rationale): a deterministic synthetic cohort of 9 patients / 45 seizures
+with paper-matched structure, plus EDF-format persistence.
+"""
+
+from .artifacts import ArtifactSpec, generate_artifact, inject_artifact
+from .dataset import SeizureEvent, SyntheticEEGDataset
+from .edf import (
+    load_record,
+    read_edf,
+    read_summary,
+    save_record,
+    write_edf,
+    write_summary,
+)
+from .montage import (
+    ELECTRODES_1020,
+    F7T3,
+    F8T4,
+    PAPER_PAIRS,
+    BipolarPair,
+    bipolar_from_referential,
+    montage_graph,
+)
+from .patients import PAPER_PATIENTS, PatientProfile, patient_by_id
+from .records import EEGRecord, SeizureAnnotation
+from .sampling import (
+    DEFAULT_DURATION_RANGE_S,
+    DEFAULT_SAMPLES_PER_SEIZURE,
+    PAPER_DURATION_RANGE_S,
+    EvaluationSample,
+    duration_range_from_env,
+    iter_evaluation_samples,
+    samples_per_seizure_from_env,
+)
+from .seizures import SeizureMorphology, generate_ictal, insert_seizure
+from .synthetic import BackgroundEEGModel, pink_noise, smooth_envelope
+
+__all__ = [
+    "ArtifactSpec",
+    "generate_artifact",
+    "inject_artifact",
+    "SeizureEvent",
+    "SyntheticEEGDataset",
+    "load_record",
+    "read_edf",
+    "read_summary",
+    "save_record",
+    "write_edf",
+    "write_summary",
+    "ELECTRODES_1020",
+    "F7T3",
+    "F8T4",
+    "PAPER_PAIRS",
+    "BipolarPair",
+    "bipolar_from_referential",
+    "montage_graph",
+    "PAPER_PATIENTS",
+    "PatientProfile",
+    "patient_by_id",
+    "EEGRecord",
+    "SeizureAnnotation",
+    "EvaluationSample",
+    "DEFAULT_DURATION_RANGE_S",
+    "DEFAULT_SAMPLES_PER_SEIZURE",
+    "PAPER_DURATION_RANGE_S",
+    "duration_range_from_env",
+    "iter_evaluation_samples",
+    "samples_per_seizure_from_env",
+    "SeizureMorphology",
+    "generate_ictal",
+    "insert_seizure",
+    "BackgroundEEGModel",
+    "pink_noise",
+    "smooth_envelope",
+]

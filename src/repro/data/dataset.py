@@ -1,0 +1,351 @@
+"""CHB-MIT-like synthetic dataset: deterministic record generation.
+
+:class:`SyntheticEEGDataset` is the data source for every experiment in
+this reproduction.  It exposes:
+
+* the per-patient seizure inventory (durations drawn once, deterministically,
+  from the patient profile — these play the role of the database's 45
+  annotated seizures),
+* :meth:`generate_sample` — the Sec. VI-A protocol: a record of random
+  duration (default 30-60 min) containing exactly one seizure at a random
+  position, with expert (ground-truth) annotation attached,
+* :meth:`generate_seizure_free` — interictal-only records for balanced
+  training sets (Sec. VI-B),
+* :meth:`generate_monitoring_record` — long multi-seizure records for the
+  closed-loop self-learning simulation (Fig. 1).
+
+Determinism: every record is derived from
+``SeedSequence([root_seed, patient, seizure, sample, purpose])`` so any
+experiment can be replayed exactly from its configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+from .artifacts import ArtifactSpec, inject_artifact
+from .patients import PAPER_PATIENTS, PatientProfile
+from .records import EEGRecord, SeizureAnnotation
+from .seizures import generate_ictal, insert_seizure
+
+__all__ = ["SeizureEvent", "SyntheticEEGDataset"]
+
+# Purpose tags folded into seed material so different record types drawn
+# for the same (patient, seizure, sample) triple are independent.
+_PURPOSE_SAMPLE = 1
+_PURPOSE_FREE = 2
+_PURPOSE_MONITOR = 3
+
+
+@dataclass(frozen=True)
+class SeizureEvent:
+    """One seizure of the inventory: identity plus its fixed duration."""
+
+    patient_id: int
+    seizure_index: int  # 0-based within the patient
+    duration_s: float
+    #: True when the cohort profile schedules a label-stealing artifact
+    #: near this seizure (Table II outliers).
+    has_artifact: bool
+
+    @property
+    def key(self) -> tuple[int, int]:
+        return (self.patient_id, self.seizure_index)
+
+
+class SyntheticEEGDataset:
+    """Deterministic CHB-MIT-like data source for the full cohort.
+
+    Parameters
+    ----------
+    patients:
+        Cohort profiles (default: the paper-matched nine).
+    fs:
+        Sampling frequency (paper/CHB-MIT: 256 Hz).
+    seed:
+        Root seed; all generated records are pure functions of
+        (seed, patient, seizure, sample).
+    duration_range_s:
+        Record length range for :meth:`generate_sample`.  The paper uses
+        (1800, 3600); benches may shrink this for tractable runtimes.
+    """
+
+    def __init__(
+        self,
+        patients: tuple[PatientProfile, ...] = PAPER_PATIENTS,
+        fs: float = 256.0,
+        seed: int = 2019,
+        duration_range_s: tuple[float, float] = (1800.0, 3600.0),
+    ) -> None:
+        if fs <= 0:
+            raise DataError(f"sampling rate must be positive, got {fs}")
+        lo, hi = duration_range_s
+        if not 0 < lo <= hi:
+            raise DataError(f"invalid duration range {duration_range_s}")
+        self.patients = tuple(patients)
+        self.fs = float(fs)
+        self.seed = int(seed)
+        self.duration_range_s = (float(lo), float(hi))
+        self._events = self._draw_inventory()
+
+    # ------------------------------------------------------------------
+    # Inventory
+    # ------------------------------------------------------------------
+    def _draw_inventory(self) -> dict[tuple[int, int], SeizureEvent]:
+        events: dict[tuple[int, int], SeizureEvent] = {}
+        for prof in self.patients:
+            rng = self._rng(prof.patient_id, 0, 0, purpose=0)
+            lo, hi = prof.duration_range_s
+            durations = rng.uniform(lo, hi, size=prof.n_seizures)
+            for k, dur in enumerate(durations):
+                events[(prof.patient_id, k)] = SeizureEvent(
+                    patient_id=prof.patient_id,
+                    seizure_index=k,
+                    duration_s=float(dur),
+                    has_artifact=(prof.artifact_near_seizure == k),
+                )
+        return events
+
+    def _rng(
+        self, patient: int, seizure: int, sample: int, purpose: int
+    ) -> np.random.Generator:
+        ss = np.random.SeedSequence([self.seed, purpose, patient, seizure, sample])
+        return np.random.default_rng(ss)
+
+    @property
+    def n_patients(self) -> int:
+        return len(self.patients)
+
+    @property
+    def total_seizures(self) -> int:
+        return sum(p.n_seizures for p in self.patients)
+
+    def profile(self, patient_id: int) -> PatientProfile:
+        """The profile of one of *this dataset's* patients (which may be a
+        custom cohort, not the paper's)."""
+        for prof in self.patients:
+            if prof.patient_id == patient_id:
+                return prof
+        raise DataError(
+            f"no patient {patient_id} in this dataset; have "
+            f"{[p.patient_id for p in self.patients]}"
+        )
+
+    def seizure_events(self, patient_id: int | None = None) -> list[SeizureEvent]:
+        """All seizure events, optionally restricted to one patient."""
+        events = sorted(self._events.values(), key=lambda e: e.key)
+        if patient_id is None:
+            return events
+        return [e for e in events if e.patient_id == patient_id]
+
+    def event(self, patient_id: int, seizure_index: int) -> SeizureEvent:
+        try:
+            return self._events[(patient_id, seizure_index)]
+        except KeyError:
+            raise DataError(
+                f"no seizure {seizure_index} for patient {patient_id}"
+            ) from None
+
+    def mean_seizure_duration(self, patient_id: int) -> float:
+        """The expert prior ``W`` for a patient: the profile's mean seizure
+        duration (what a clinician would report), not the per-seizure truth."""
+        return self.profile(patient_id).mean_seizure_s
+
+    # ------------------------------------------------------------------
+    # Record generation
+    # ------------------------------------------------------------------
+    def generate_sample(
+        self,
+        patient_id: int,
+        seizure_index: int,
+        sample_index: int = 0,
+        duration_range_s: tuple[float, float] | None = None,
+    ) -> EEGRecord:
+        """One Sec. VI-A test sample: a record with exactly one seizure.
+
+        Record duration is drawn uniformly from ``duration_range_s``; the
+        seizure is placed uniformly at random inside it (away from the very
+        edges so the whole event is contained).  If the cohort profile
+        schedules an artifact near this seizure, the burst is injected at
+        the configured offset, clamped into the record.
+        """
+        prof = self.profile(patient_id)
+        event = self.event(patient_id, seizure_index)
+        rng = self._rng(patient_id, seizure_index, sample_index, _PURPOSE_SAMPLE)
+
+        lo, hi = duration_range_s or self.duration_range_s
+        duration_s = float(rng.uniform(lo, hi))
+        seiz_s = event.duration_s
+        if seiz_s >= duration_s * 0.5:
+            raise DataError(
+                f"record duration {duration_s:.0f}s too short for a "
+                f"{seiz_s:.0f}s seizure"
+            )
+
+        margin_s = max(10.0, 0.02 * duration_s)
+        onset_s = float(rng.uniform(margin_s, duration_s - seiz_s - margin_s))
+
+        background = prof.background.generate(duration_s, self.fs, rng)
+        bg_rms = float(background.std())
+        ictal = generate_ictal(seiz_s, self.fs, prof.morphology, bg_rms, rng)
+        data = insert_seizure(
+            background, ictal, int(round(onset_s * self.fs)), self.fs
+        )
+
+        if event.has_artifact:
+            data = self._inject_outlier_artifact(
+                data, prof, onset_s, seiz_s, duration_s, bg_rms, rng
+            )
+        data = self._inject_clutter(
+            data, prof, onset_s, seiz_s, duration_s, bg_rms, rng
+        )
+
+        ann = SeizureAnnotation(onset_s=onset_s, offset_s=onset_s + seiz_s)
+        return EEGRecord(
+            data=data,
+            fs=self.fs,
+            annotations=[ann],
+            patient_id=f"P{patient_id:02d}",
+            record_id=f"P{patient_id:02d}_S{seizure_index:02d}_R{sample_index:03d}",
+        )
+
+    def _inject_outlier_artifact(
+        self,
+        data: np.ndarray,
+        prof: PatientProfile,
+        onset_s: float,
+        seiz_s: float,
+        duration_s: float,
+        bg_rms: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Place the Table-II label-stealing burst near the seizure."""
+        burst_s = prof.effective_artifact_duration_s
+        start = onset_s + prof.artifact_offset_s
+        if prof.artifact_offset_s >= 0:
+            start = onset_s + seiz_s + prof.artifact_offset_s
+        # Clamp inside the record without overlapping the seizure.
+        start = min(max(start, 5.0), duration_s - burst_s - 5.0)
+        if onset_s - burst_s < start < onset_s + seiz_s:
+            start = max(5.0, onset_s - burst_s - 30.0)
+        if start < 5.0 or start + burst_s > duration_s - 5.0:
+            # Record too short to host both; skip the burst rather than
+            # corrupt the seizure itself.
+            return data
+        spec = ArtifactSpec(
+            kind=prof.artifact_kind,
+            start_s=start,
+            duration_s=burst_s,
+            amplitude_gain=prof.artifact_gain,
+        )
+        return inject_artifact(data, spec, self.fs, bg_rms, rng)
+
+    def _inject_clutter(
+        self,
+        data: np.ndarray,
+        prof: PatientProfile,
+        onset_s: float,
+        seiz_s: float,
+        duration_s: float,
+        bg_rms: float,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Moderate bursts near the seizure (profile ``clutter_bursts``).
+
+        Placed uniformly within +-180 s of the seizure (never overlapping
+        it) so they perturb the argmax window alignment without stealing
+        the detection — the source of patient 2's mediocre deviations.
+        """
+        for _ in range(prof.clutter_bursts):
+            span = prof.clutter_duration_s
+            for _attempt in range(8):
+                center = onset_s + 0.5 * seiz_s + rng.uniform(-180.0, 180.0)
+                start = center - span / 2
+                if start < 5.0 or start + span > duration_s - 5.0:
+                    continue
+                if start + span > onset_s - 2.0 and start < onset_s + seiz_s + 2.0:
+                    continue  # never corrupt the seizure itself
+                spec = ArtifactSpec(
+                    kind="rhythmic",
+                    start_s=start,
+                    duration_s=span,
+                    amplitude_gain=prof.clutter_gain,
+                )
+                data = inject_artifact(data, spec, self.fs, bg_rms, rng)
+                break
+        return data
+
+    def generate_seizure_free(
+        self,
+        patient_id: int,
+        duration_s: float,
+        sample_index: int = 0,
+    ) -> EEGRecord:
+        """An interictal-only record, for the non-seizure half of balanced
+        training sets (Sec. VI-B)."""
+        prof = self.profile(patient_id)
+        rng = self._rng(patient_id, 0, sample_index, _PURPOSE_FREE)
+        data = prof.background.generate(duration_s, self.fs, rng)
+        return EEGRecord(
+            data=data,
+            fs=self.fs,
+            annotations=[],
+            patient_id=f"P{patient_id:02d}",
+            record_id=f"P{patient_id:02d}_FREE_R{sample_index:03d}",
+        )
+
+    def generate_monitoring_record(
+        self,
+        patient_id: int,
+        duration_s: float,
+        seizure_indices: list[int],
+        sample_index: int = 0,
+        min_gap_s: float = 600.0,
+    ) -> EEGRecord:
+        """A long record containing several seizures, for the Fig. 1
+        closed-loop simulation.
+
+        Seizures (by inventory index) are placed in order with at least
+        ``min_gap_s`` between them and from the record edges.
+        """
+        prof = self.profile(patient_id)
+        rng = self._rng(patient_id, 0, sample_index, _PURPOSE_MONITOR)
+        events = [self.event(patient_id, k) for k in seizure_indices]
+        total_seizure_s = sum(e.duration_s for e in events)
+        needed = total_seizure_s + min_gap_s * (len(events) + 1)
+        if duration_s < needed:
+            raise DataError(
+                f"{duration_s:.0f}s record cannot hold {len(events)} seizures "
+                f"with {min_gap_s:.0f}s gaps (need >= {needed:.0f}s)"
+            )
+
+        background = prof.background.generate(duration_s, self.fs, rng)
+        bg_rms = float(background.std())
+        slack = duration_s - needed
+        # Split the slack randomly across the gaps (Dirichlet-like).
+        parts = rng.uniform(0.5, 1.5, size=len(events) + 1)
+        parts = parts / parts.sum() * slack
+        data = background
+        anns: list[SeizureAnnotation] = []
+        cursor = min_gap_s + parts[0]
+        for i, event in enumerate(events):
+            ictal = generate_ictal(
+                event.duration_s, self.fs, prof.morphology, bg_rms, rng
+            )
+            data = insert_seizure(
+                data, ictal, int(round(cursor * self.fs)), self.fs
+            )
+            anns.append(
+                SeizureAnnotation(onset_s=cursor, offset_s=cursor + event.duration_s)
+            )
+            cursor += event.duration_s + min_gap_s + parts[i + 1]
+        return EEGRecord(
+            data=data,
+            fs=self.fs,
+            annotations=anns,
+            patient_id=f"P{patient_id:02d}",
+            record_id=f"P{patient_id:02d}_MON_R{sample_index:03d}",
+        )

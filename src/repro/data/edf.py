@@ -1,0 +1,268 @@
+"""Minimal EDF reader/writer plus CHB-MIT-style annotation summaries.
+
+CHB-MIT distributes recordings as EDF files with sidecar
+``chbXX-summary.txt`` annotation files.  Neither MNE nor pyEDFlib is
+available offline, so this module implements the subset of EDF needed to
+persist and reload :class:`~repro.data.records.EEGRecord` objects
+faithfully:
+
+* fixed 256-byte main header + 256 bytes per signal header,
+* 16-bit little-endian samples with physical/digital scaling,
+* one-second data records,
+* a CHB-MIT-like text summary for seizure annotations (EDF+ TAL streams
+  are out of scope; CHB-MIT itself uses the text-summary convention).
+
+Round-trip accuracy is bounded by the 16-bit quantization of the physical
+range, which matches the acquisition resolution of the paper's ADS1299
+front end (up to 16-bit in the described configuration).
+"""
+
+from __future__ import annotations
+
+import io
+import math
+import os
+
+import numpy as np
+
+from ..exceptions import DataError
+from .records import EEGRecord, SeizureAnnotation
+
+__all__ = [
+    "write_edf",
+    "read_edf",
+    "write_summary",
+    "read_summary",
+    "save_record",
+    "load_record",
+]
+
+_HDR_FIXED = 256
+_HDR_PER_SIGNAL = 256
+
+
+def _field(value: str, width: int) -> bytes:
+    """Encode an ASCII header field, left-justified and space-padded."""
+    raw = value.encode("ascii", errors="replace")
+    if len(raw) > width:
+        raw = raw[:width]
+    return raw.ljust(width)
+
+
+def _num(value: float, width: int) -> bytes:
+    """Encode a number into a fixed-width ASCII field."""
+    text = f"{value:.10g}"[:width]
+    return _field(text, width)
+
+
+def write_edf(record: EEGRecord, path: str | os.PathLike) -> None:
+    """Write a record as 16-bit EDF with one-second data records.
+
+    The physical range is chosen per channel as the symmetric range
+    covering the data, so quantization error is at most
+    ``range / 2**16`` per sample.  The trailing partial second (if any) is
+    zero-padded in the file and trimmed on read via the duration stored in
+    the recording-id field.
+    """
+    fs = record.fs
+    if abs(fs - round(fs)) > 1e-9:
+        raise DataError(f"EDF writer requires integer sampling rate, got {fs}")
+    fs_i = int(round(fs))
+    ns = record.n_channels
+    n_records = math.ceil(record.n_samples / fs_i)
+
+    phys_max = np.maximum(np.abs(record.data).max(axis=1), 1e-6)
+    dig_max = 32767
+    dig_min = -32768
+
+    buf = io.BytesIO()
+    header_bytes = _HDR_FIXED + _HDR_PER_SIGNAL * ns
+    buf.write(_field("0", 8))
+    buf.write(_field(record.patient_id or "X", 80))
+    # Stash the exact sample count so reads can trim zero padding.
+    buf.write(_field(f"{record.record_id} nsamples={record.n_samples}", 80))
+    buf.write(_field("01.01.19", 8))
+    buf.write(_field("00.00.00", 8))
+    buf.write(_num(header_bytes, 8))
+    buf.write(_field("", 44))
+    buf.write(_num(n_records, 8))
+    buf.write(_num(1, 8))  # record duration: 1 s
+    buf.write(_num(ns, 4))
+
+    for name in record.channel_names:
+        buf.write(_field(name, 16))
+    for _ in range(ns):
+        buf.write(_field("AgAgCl electrode", 80))
+    for _ in range(ns):
+        buf.write(_field("uV", 8))
+    for ch in range(ns):
+        buf.write(_num(-phys_max[ch], 8))
+    for ch in range(ns):
+        buf.write(_num(phys_max[ch], 8))
+    for _ in range(ns):
+        buf.write(_num(dig_min, 8))
+    for _ in range(ns):
+        buf.write(_num(dig_max, 8))
+    for _ in range(ns):
+        buf.write(_field("HP:0.5Hz LP:100Hz", 80))
+    for _ in range(ns):
+        buf.write(_num(fs_i, 8))
+    for _ in range(ns):
+        buf.write(_field("", 32))
+
+    # Digitize: phys -> dig linear map.
+    padded = np.zeros((ns, n_records * fs_i))
+    padded[:, : record.n_samples] = record.data
+    scale = (dig_max - dig_min) / (2.0 * phys_max)
+    digital = np.clip(
+        np.round((padded + phys_max[:, None]) * scale[:, None]) + dig_min,
+        dig_min,
+        dig_max,
+    ).astype("<i2")
+
+    for rec_i in range(n_records):
+        sl = slice(rec_i * fs_i, (rec_i + 1) * fs_i)
+        for ch in range(ns):
+            buf.write(digital[ch, sl].tobytes())
+
+    with open(path, "wb") as fh:
+        fh.write(buf.getvalue())
+
+
+def read_edf(path: str | os.PathLike) -> EEGRecord:
+    """Read an EDF file written by :func:`write_edf` (or any plain 16-bit
+    EDF with constant per-signal rate and numeric header fields)."""
+    with open(path, "rb") as fh:
+        raw = fh.read()
+    if len(raw) < _HDR_FIXED:
+        raise DataError(f"{path}: too short to be EDF")
+
+    def text(off: int, width: int) -> str:
+        return raw[off : off + width].decode("ascii", errors="replace").strip()
+
+    patient_id = text(8, 80)
+    recording_field = text(88, 80)
+    try:
+        header_bytes = int(text(184, 8))
+        n_records = int(text(236, 8))
+        record_dur = float(text(244, 8))
+        ns = int(text(252, 4))
+    except ValueError as exc:
+        raise DataError(f"{path}: malformed EDF numeric header: {exc}") from exc
+    if ns < 1 or n_records < 0 or record_dur <= 0:
+        raise DataError(f"{path}: inconsistent EDF header")
+
+    off = _HDR_FIXED
+
+    def sig_fields(width: int) -> list[str]:
+        nonlocal off
+        out = [text(off + i * width, width) for i in range(ns)]
+        off += ns * width
+        return out
+
+    labels = sig_fields(16)
+    sig_fields(80)  # transducer
+    sig_fields(8)  # physical dimension
+    phys_min = [float(v) for v in sig_fields(8)]
+    phys_max = [float(v) for v in sig_fields(8)]
+    dig_min = [int(float(v)) for v in sig_fields(8)]
+    dig_max = [int(float(v)) for v in sig_fields(8)]
+    sig_fields(80)  # prefiltering
+    spr = [int(float(v)) for v in sig_fields(8)]
+    sig_fields(32)  # reserved
+
+    if off != header_bytes:
+        raise DataError(
+            f"{path}: header length mismatch ({off} parsed vs {header_bytes} declared)"
+        )
+    if len(set(spr)) != 1:
+        raise DataError(f"{path}: per-signal rates differ ({spr}); unsupported")
+    fs = spr[0] / record_dur
+
+    body = np.frombuffer(raw[header_bytes:], dtype="<i2")
+    expected = n_records * sum(spr)
+    if body.size < expected:
+        raise DataError(
+            f"{path}: truncated data ({body.size} samples, expected {expected})"
+        )
+    body = body[:expected].reshape(n_records, ns, spr[0])
+    data = np.empty((ns, n_records * spr[0]))
+    for ch in range(ns):
+        dig = body[:, ch, :].reshape(-1).astype(float)
+        span_d = dig_max[ch] - dig_min[ch]
+        span_p = phys_max[ch] - phys_min[ch]
+        data[ch] = (dig - dig_min[ch]) * (span_p / span_d) + phys_min[ch]
+
+    # Trim zero padding if the writer stashed the exact count.
+    record_id = recording_field
+    if " nsamples=" in recording_field:
+        record_id, _, count = recording_field.rpartition(" nsamples=")
+        try:
+            data = data[:, : int(count)]
+        except ValueError:
+            pass
+
+    return EEGRecord(
+        data=data,
+        fs=fs,
+        channel_names=tuple(labels),
+        annotations=[],
+        patient_id=patient_id,
+        record_id=record_id,
+    )
+
+
+def write_summary(record: EEGRecord, path: str | os.PathLike) -> None:
+    """Write a CHB-MIT-style text summary of the record's annotations."""
+    lines = [
+        f"File Name: {record.record_id}",
+        f"Sampling Rate: {record.fs:g} Hz",
+        f"Number of Seizures in File: {record.seizure_count}",
+    ]
+    for i, ann in enumerate(record.annotations, start=1):
+        lines.append(f"Seizure {i} Start Time: {ann.onset_s:.3f} seconds")
+        lines.append(f"Seizure {i} End Time: {ann.offset_s:.3f} seconds")
+    with open(path, "w", encoding="ascii") as fh:
+        fh.write("\n".join(lines) + "\n")
+
+
+def read_summary(path: str | os.PathLike) -> list[SeizureAnnotation]:
+    """Parse a summary file written by :func:`write_summary`."""
+    starts: dict[int, float] = {}
+    ends: dict[int, float] = {}
+    with open(path, "r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if line.startswith("Seizure") and "Start Time:" in line:
+                idx = int(line.split()[1])
+                starts[idx] = float(line.split(":")[1].split()[0])
+            elif line.startswith("Seizure") and "End Time:" in line:
+                idx = int(line.split()[1])
+                ends[idx] = float(line.split(":")[1].split()[0])
+    if set(starts) != set(ends):
+        raise DataError(f"{path}: mismatched seizure start/end entries")
+    return [
+        SeizureAnnotation(onset_s=starts[i], offset_s=ends[i])
+        for i in sorted(starts)
+    ]
+
+
+def save_record(record: EEGRecord, basepath: str | os.PathLike) -> tuple[str, str]:
+    """Persist a record as ``<basepath>.edf`` + ``<basepath>.seizures.txt``.
+
+    Returns the two paths written.
+    """
+    edf_path = f"{basepath}.edf"
+    summary_path = f"{basepath}.seizures.txt"
+    write_edf(record, edf_path)
+    write_summary(record, summary_path)
+    return edf_path, summary_path
+
+
+def load_record(basepath: str | os.PathLike) -> EEGRecord:
+    """Load a record persisted by :func:`save_record`."""
+    record = read_edf(f"{basepath}.edf")
+    summary_path = f"{basepath}.seizures.txt"
+    if os.path.exists(summary_path):
+        record.annotations = read_summary(summary_path)
+    return record

@@ -1,0 +1,21 @@
+"""Entropy substrate: the nonlinearity measures used by the paper's features.
+
+Permutation entropy (orders 5 and 7), sample entropy (k = 0.2 / 0.35),
+Rényi entropy, plus Shannon / approximate / spectral entropy for the
+e-Glass real-time feature family.
+"""
+
+from .permutation import ordinal_patterns, permutation_entropy
+from .renyi import renyi_entropy
+from .sample import approximate_entropy, sample_entropy
+from .shannon import shannon_entropy, spectral_entropy
+
+__all__ = [
+    "ordinal_patterns",
+    "permutation_entropy",
+    "renyi_entropy",
+    "approximate_entropy",
+    "sample_entropy",
+    "shannon_entropy",
+    "spectral_entropy",
+]

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library-specific failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class SignalError(ReproError):
+    """Raised when an input signal is malformed (wrong shape, NaNs, too short)."""
+
+
+class FeatureError(ReproError):
+    """Raised when feature extraction receives invalid configuration or data."""
+
+
+class LabelingError(ReproError):
+    """Raised when the a-posteriori labeling algorithm cannot run.
+
+    Typical causes: the window length ``W`` is not smaller than the number of
+    feature points ``L``, or the feature matrix is empty.
+    """
+
+
+class DataError(ReproError):
+    """Raised for invalid synthetic-data configuration or corrupt EDF files."""
+
+
+class ModelError(ReproError):
+    """Raised by the ML substrate (tree / forest / clustering) on misuse,
+    e.g. predicting before fitting."""
+
+
+class PlatformError(ReproError):
+    """Raised by the wearable-platform model for inconsistent configurations,
+    e.g. duty cycles that do not sum to at most 100%."""

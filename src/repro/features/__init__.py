@@ -1,0 +1,42 @@
+"""Feature substrate: the paper's 10 features, the e-Glass 54-feature
+family, backward elimination, normalization and windowed extraction."""
+
+from .base import FeatureExtractor, FeatureMatrix
+from .eglass import (
+    N_EGLASS_PER_CHANNEL,
+    EGlassFeatureExtractor,
+    eglass_feature_names,
+)
+from .extraction import extract_features, extract_labeled_features
+from .normalize import ZScoreScaler, zscore
+from .paper10 import PAPER10_FEATURE_NAMES, Paper10FeatureExtractor
+from .selection import (
+    SelectionResult,
+    backward_elimination,
+    fisher_mean_score,
+    fisher_ratio,
+    nearest_centroid_score,
+)
+from .wavelet_features import dwt_details, subband_energy, subband_stats
+
+__all__ = [
+    "FeatureExtractor",
+    "FeatureMatrix",
+    "N_EGLASS_PER_CHANNEL",
+    "EGlassFeatureExtractor",
+    "eglass_feature_names",
+    "extract_features",
+    "extract_labeled_features",
+    "ZScoreScaler",
+    "zscore",
+    "PAPER10_FEATURE_NAMES",
+    "Paper10FeatureExtractor",
+    "SelectionResult",
+    "backward_elimination",
+    "fisher_mean_score",
+    "fisher_ratio",
+    "nearest_centroid_score",
+    "dwt_details",
+    "subband_energy",
+    "subband_stats",
+]

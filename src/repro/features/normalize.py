@@ -1,0 +1,79 @@
+"""Feature normalization (Algorithm 1, Line 1).
+
+"In order to have all the features in the same scale, they are normalized:
+the mean value, across the signal, of the corresponding feature is
+subtracted and the result is divided by the standard deviation of the
+feature."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import FeatureError
+
+__all__ = ["zscore", "ZScoreScaler"]
+
+
+def zscore(values: np.ndarray) -> np.ndarray:
+    """Column-wise z-score normalization of an (L, F) array.
+
+    Constant columns (zero standard deviation) are mapped to all-zeros
+    rather than NaN: a feature that never varies carries no distance
+    information, and Algorithm 1's distance sums must stay finite.
+    """
+    values = np.asarray(values, dtype=float)
+    if values.ndim != 2:
+        raise FeatureError(f"expected (L, F) array, got shape {values.shape}")
+    mean = values.mean(axis=0)
+    std = values.std(axis=0)
+    # Treat numerically-constant columns as constant: a column of identical
+    # values can have std ~1e-16 from floating accumulation, which would
+    # otherwise blow the z-scores up to +-1.
+    constant = std <= 1e-12 * (np.abs(mean) + 1.0)
+    safe = np.where(constant, 1.0, std)
+    out = (values - mean) / safe
+    out[:, constant] = 0.0
+    return out
+
+
+@dataclass
+class ZScoreScaler:
+    """Fit/transform z-score scaler for train/test feature consistency.
+
+    The a-posteriori algorithm normalizes *within* one signal (use
+    :func:`zscore`); the real-time classifier instead needs a scaler
+    fitted on training data and reused at inference.
+    """
+
+    mean_: np.ndarray | None = None
+    std_: np.ndarray | None = None
+
+    def fit(self, values: np.ndarray) -> "ZScoreScaler":
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise FeatureError(f"expected (L, F) array, got shape {values.shape}")
+        if values.shape[0] < 2:
+            raise FeatureError("need at least 2 rows to fit a scaler")
+        self.mean_ = values.mean(axis=0)
+        self.std_ = values.std(axis=0)
+        return self
+
+    def transform(self, values: np.ndarray) -> np.ndarray:
+        if self.mean_ is None or self.std_ is None:
+            raise FeatureError("scaler is not fitted")
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2 or values.shape[1] != self.mean_.size:
+            raise FeatureError(
+                f"shape {values.shape} incompatible with fitted width {self.mean_.size}"
+            )
+        constant = self.std_ <= 1e-12 * (np.abs(self.mean_) + 1.0)
+        safe = np.where(constant, 1.0, self.std_)
+        out = (values - self.mean_) / safe
+        out[:, constant] = 0.0
+        return out
+
+    def fit_transform(self, values: np.ndarray) -> np.ndarray:
+        return self.fit(values).transform(values)

@@ -1,0 +1,49 @@
+"""ML substrate: CART/random forest, clustering baselines, metrics,
+and the Sec. VI-B training-set construction protocol."""
+
+from .forest import RandomForestClassifier
+from .kmeans import KMeans, KMedoids, cluster_seizure_labels
+from .roc import RocCurve, auc, best_gmean_threshold, roc_curve
+from .metrics import (
+    ClassificationReport,
+    accuracy,
+    classification_report,
+    confusion_counts,
+    f1_score,
+    geometric_mean_score,
+    precision,
+    sensitivity,
+    specificity,
+)
+from .tree import DecisionTreeClassifier
+from .validation import (
+    TrainingSet,
+    build_balanced_training_set,
+    leave_one_seizure_out,
+    train_test_split,
+)
+
+__all__ = [
+    "RandomForestClassifier",
+    "KMeans",
+    "KMedoids",
+    "cluster_seizure_labels",
+    "ClassificationReport",
+    "accuracy",
+    "classification_report",
+    "confusion_counts",
+    "f1_score",
+    "geometric_mean_score",
+    "precision",
+    "sensitivity",
+    "specificity",
+    "RocCurve",
+    "auc",
+    "best_gmean_threshold",
+    "roc_curve",
+    "DecisionTreeClassifier",
+    "TrainingSet",
+    "build_balanced_training_set",
+    "leave_one_seizure_out",
+    "train_test_split",
+]

@@ -1,0 +1,126 @@
+"""Classification metrics: sensitivity, specificity, geometric mean.
+
+Sec. VI-B evaluates the real-time detector with "Sensitivity, specificity
+and the geometric mean of the results" — the geometric mean being "the
+only correct average of normalized values" per the paper's citation of
+Fleming & Wallace (CACM 1986).  All metrics operate on binary window
+labels (1 = seizure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = [
+    "confusion_counts",
+    "sensitivity",
+    "specificity",
+    "accuracy",
+    "precision",
+    "f1_score",
+    "geometric_mean_score",
+    "ClassificationReport",
+    "classification_report",
+]
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape or y_true.ndim != 1:
+        raise ModelError(
+            f"labels must be equal-length 1-D arrays, got {y_true.shape} / {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ModelError("cannot score empty label arrays")
+    for arr, name in ((y_true, "y_true"), (y_pred, "y_pred")):
+        bad = set(np.unique(arr)) - {0, 1}
+        if bad:
+            raise ModelError(f"{name} must be binary 0/1, found values {sorted(bad)}")
+    return y_true.astype(np.int64), y_pred.astype(np.int64)
+
+
+def confusion_counts(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[int, int, int, int]:
+    """Return (tp, fp, tn, fn) for binary labels with 1 = seizure."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    tp = int(np.sum((y_true == 1) & (y_pred == 1)))
+    fp = int(np.sum((y_true == 0) & (y_pred == 1)))
+    tn = int(np.sum((y_true == 0) & (y_pred == 0)))
+    fn = int(np.sum((y_true == 1) & (y_pred == 0)))
+    return tp, fp, tn, fn
+
+
+def sensitivity(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """True-positive rate; 0.0 when no positives exist (conservative)."""
+    tp, _, _, fn = confusion_counts(y_true, y_pred)
+    return tp / (tp + fn) if (tp + fn) else 0.0
+
+
+def specificity(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """True-negative rate; 0.0 when no negatives exist."""
+    _, fp, tn, _ = confusion_counts(y_true, y_pred)
+    return tn / (tn + fp) if (tn + fp) else 0.0
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def precision(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    tp, fp, _, _ = confusion_counts(y_true, y_pred)
+    return tp / (tp + fp) if (tp + fp) else 0.0
+
+
+def f1_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    p = precision(y_true, y_pred)
+    r = sensitivity(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+def geometric_mean_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """sqrt(sensitivity * specificity) — the paper's headline metric."""
+    return float(np.sqrt(sensitivity(y_true, y_pred) * specificity(y_true, y_pred)))
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Bundle of the Sec. VI-B evaluation metrics."""
+
+    sensitivity: float
+    specificity: float
+    geometric_mean: float
+    accuracy: float
+    tp: int
+    fp: int
+    tn: int
+    fn: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "sensitivity": self.sensitivity,
+            "specificity": self.specificity,
+            "geometric_mean": self.geometric_mean,
+            "accuracy": self.accuracy,
+        }
+
+
+def classification_report(y_true: np.ndarray, y_pred: np.ndarray) -> ClassificationReport:
+    """Compute all Sec. VI-B metrics at once."""
+    tp, fp, tn, fn = confusion_counts(y_true, y_pred)
+    sens = tp / (tp + fn) if (tp + fn) else 0.0
+    spec = tn / (tn + fp) if (tn + fp) else 0.0
+    return ClassificationReport(
+        sensitivity=sens,
+        specificity=spec,
+        geometric_mean=float(np.sqrt(sens * spec)),
+        accuracy=(tp + tn) / (tp + fp + tn + fn),
+        tp=tp,
+        fp=fp,
+        tn=tn,
+        fn=fn,
+    )

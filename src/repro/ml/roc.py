@@ -1,0 +1,90 @@
+"""ROC analysis and operating-point selection for the real-time detector.
+
+The paper fixes the detector threshold implicitly; a deployed wearable
+must choose its operating point on the sensitivity/specificity trade-off
+(missed seizures vs false alarms).  This module provides the ROC curve,
+its area, and gmean-optimal threshold selection over window-level
+probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["RocCurve", "roc_curve", "auc", "best_gmean_threshold"]
+
+
+@dataclass(frozen=True)
+class RocCurve:
+    """ROC curve samples, ordered by increasing false-positive rate.
+
+    ``thresholds[i]`` produces ``(fpr[i], tpr[i])`` when predictions are
+    ``score >= thresholds[i]``.
+    """
+
+    fpr: np.ndarray
+    tpr: np.ndarray
+    thresholds: np.ndarray
+
+
+def _check(y_true: np.ndarray, scores: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true)
+    scores = np.asarray(scores, dtype=float)
+    if y_true.shape != scores.shape or y_true.ndim != 1:
+        raise ModelError(
+            f"labels/scores must be equal-length 1-D, got {y_true.shape}/{scores.shape}"
+        )
+    classes = set(np.unique(y_true))
+    if not classes <= {0, 1}:
+        raise ModelError(f"labels must be binary 0/1, found {sorted(classes)}")
+    if 1 not in classes or 0 not in classes:
+        raise ModelError("ROC needs both classes present")
+    if not np.all(np.isfinite(scores)):
+        raise ModelError("scores contain NaN or infinite values")
+    return y_true.astype(np.int64), scores
+
+
+def roc_curve(y_true: np.ndarray, scores: np.ndarray) -> RocCurve:
+    """Compute the ROC curve from binary labels and real-valued scores."""
+    y_true, scores = _check(y_true, scores)
+    order = np.argsort(-scores, kind="stable")
+    sorted_scores = scores[order]
+    sorted_labels = y_true[order]
+
+    # Cumulative counts walking the threshold down through each distinct
+    # score; collapse ties so each threshold appears once.
+    tp = np.cumsum(sorted_labels)
+    fp = np.cumsum(1 - sorted_labels)
+    distinct = np.nonzero(np.diff(sorted_scores))[0]
+    idx = np.concatenate([distinct, [sorted_labels.size - 1]])
+
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    tpr = np.concatenate([[0.0], tp[idx] / n_pos])
+    fpr = np.concatenate([[0.0], fp[idx] / n_neg])
+    thresholds = np.concatenate([[np.inf], sorted_scores[idx]])
+    return RocCurve(fpr=fpr, tpr=tpr, thresholds=thresholds)
+
+
+def auc(curve: RocCurve) -> float:
+    """Area under the ROC curve (trapezoidal)."""
+    return float(np.trapezoid(curve.tpr, curve.fpr))
+
+
+def best_gmean_threshold(y_true: np.ndarray, scores: np.ndarray) -> tuple[float, float]:
+    """Threshold maximizing sqrt(sensitivity * specificity).
+
+    Returns ``(threshold, gmean)``.  This is the operating point the
+    paper's evaluation metric (geometric mean) implies.
+    """
+    curve = roc_curve(y_true, scores)
+    gmeans = np.sqrt(curve.tpr * (1.0 - curve.fpr))
+    best = int(np.argmax(gmeans))
+    threshold = curve.thresholds[best]
+    if not np.isfinite(threshold):
+        threshold = float(scores.max()) + 1.0
+    return float(threshold), float(gmeans[best])

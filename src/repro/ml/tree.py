@@ -1,0 +1,264 @@
+"""CART decision-tree classifier built from scratch.
+
+The paper's real-time detector is "a classifier based on the random forest
+algorithm" (Sec. III-C); scikit-learn is unavailable offline, so this is a
+clean-room CART implementation: binary splits chosen by Gini impurity with
+a vectorized sort-and-scan search, depth/leaf-size regularization, and
+per-node random feature subsampling (the hook the forest uses).
+
+The implementation stores the tree in flat arrays (feature, threshold,
+children, leaf distribution) so prediction is a tight loop rather than
+object-graph traversal.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import ModelError
+
+__all__ = ["DecisionTreeClassifier"]
+
+
+class DecisionTreeClassifier:
+    """Binary-split CART classifier.
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth (root = depth 0); ``None`` grows until pure.
+    min_samples_split:
+        Minimum node size eligible for splitting.
+    min_samples_leaf:
+        Minimum samples each child must retain.
+    max_features:
+        Features examined per node: ``None`` (all), ``"sqrt"``, or an int.
+    random_state:
+        Seed or Generator for feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: int | None = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: int | str | None = None,
+        random_state: int | np.random.Generator | None = None,
+    ) -> None:
+        if max_depth is not None and max_depth < 1:
+            raise ModelError(f"max_depth must be >= 1 or None, got {max_depth}")
+        if min_samples_split < 2:
+            raise ModelError(f"min_samples_split must be >= 2, got {min_samples_split}")
+        if min_samples_leaf < 1:
+            raise ModelError(f"min_samples_leaf must be >= 1, got {min_samples_leaf}")
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.random_state = random_state
+        self.classes_: np.ndarray | None = None
+        # Flat tree arrays, filled by fit().
+        self._feature: list[int] = []
+        self._threshold: list[float] = []
+        self._left: list[int] = []
+        self._right: list[int] = []
+        self._proba: list[np.ndarray] = []
+
+    # ------------------------------------------------------------------
+    # Fitting
+    # ------------------------------------------------------------------
+    def fit(self, values: np.ndarray, labels: np.ndarray) -> "DecisionTreeClassifier":
+        values, labels = self._check_xy(values, labels)
+        self.classes_, encoded = np.unique(labels, return_inverse=True)
+        n_classes = self.classes_.size
+        rng = (
+            self.random_state
+            if isinstance(self.random_state, np.random.Generator)
+            else np.random.default_rng(self.random_state)
+        )
+        n_features = values.shape[1]
+        if self.max_features is None:
+            n_try = n_features
+        elif self.max_features == "sqrt":
+            n_try = max(1, int(np.sqrt(n_features)))
+        elif isinstance(self.max_features, int) and self.max_features >= 1:
+            n_try = min(self.max_features, n_features)
+        else:
+            raise ModelError(f"invalid max_features {self.max_features!r}")
+
+        self._feature, self._threshold = [], []
+        self._left, self._right, self._proba = [], [], []
+
+        # Iterative growth: stack of (sample_indices, depth, parent_slot).
+        # parent_slot is (node_id, 'left'|'right') to patch after creation.
+        stack: list[tuple[np.ndarray, int, tuple[int, str] | None]] = [
+            (np.arange(values.shape[0]), 0, None)
+        ]
+        while stack:
+            idx, depth, parent = stack.pop()
+            node_id = self._new_node(encoded[idx], n_classes)
+            if parent is not None:
+                pid, side = parent
+                if side == "left":
+                    self._left[pid] = node_id
+                else:
+                    self._right[pid] = node_id
+
+            if self._should_stop(encoded[idx], depth):
+                continue
+            split = self._best_split(values, encoded, idx, n_classes, n_try, rng)
+            if split is None:
+                continue
+            feat, thr, left_idx, right_idx = split
+            self._feature[node_id] = feat
+            self._threshold[node_id] = thr
+            stack.append((right_idx, depth + 1, (node_id, "right")))
+            stack.append((left_idx, depth + 1, (node_id, "left")))
+        return self
+
+    def _new_node(self, node_labels: np.ndarray, n_classes: int) -> int:
+        counts = np.bincount(node_labels, minlength=n_classes).astype(float)
+        self._feature.append(-1)
+        self._threshold.append(0.0)
+        self._left.append(-1)
+        self._right.append(-1)
+        self._proba.append(counts / counts.sum())
+        return len(self._feature) - 1
+
+    def _should_stop(self, node_labels: np.ndarray, depth: int) -> bool:
+        if node_labels.size < self.min_samples_split:
+            return True
+        if self.max_depth is not None and depth >= self.max_depth:
+            return True
+        return bool(np.all(node_labels == node_labels[0]))
+
+    def _best_split(
+        self,
+        values: np.ndarray,
+        encoded: np.ndarray,
+        idx: np.ndarray,
+        n_classes: int,
+        n_try: int,
+        rng: np.random.Generator,
+    ) -> tuple[int, float, np.ndarray, np.ndarray] | None:
+        """Vectorized Gini split search over a random feature subset."""
+        n = idx.size
+        labels = encoded[idx]
+        features = rng.choice(values.shape[1], size=n_try, replace=False)
+        best_gain = 1e-12
+        best: tuple[int, float] | None = None
+        total_counts = np.bincount(labels, minlength=n_classes).astype(float)
+        parent_gini = 1.0 - ((total_counts / n) ** 2).sum()
+
+        for feat in features:
+            col = values[idx, feat]
+            order = np.argsort(col, kind="stable")
+            sorted_col = col[order]
+            sorted_lab = labels[order]
+            # One-hot cumulative class counts along the sorted order.
+            onehot = np.zeros((n, n_classes))
+            onehot[np.arange(n), sorted_lab] = 1.0
+            cum = np.cumsum(onehot, axis=0)
+            # Candidate split after position i (left = [0..i]).
+            left_n = np.arange(1, n, dtype=float)
+            right_n = n - left_n
+            left_counts = cum[:-1]
+            right_counts = total_counts[None, :] - left_counts
+            gini_l = 1.0 - ((left_counts / left_n[:, None]) ** 2).sum(axis=1)
+            gini_r = 1.0 - ((right_counts / right_n[:, None]) ** 2).sum(axis=1)
+            weighted = (left_n * gini_l + right_n * gini_r) / n
+            gain = parent_gini - weighted
+            # Valid splits: value actually changes and both children are
+            # large enough.
+            valid = sorted_col[1:] > sorted_col[:-1]
+            valid &= left_n >= self.min_samples_leaf
+            valid &= right_n >= self.min_samples_leaf
+            gain = np.where(valid, gain, -np.inf)
+            if gain.size == 0:
+                continue
+            pos = int(np.argmax(gain))
+            if gain[pos] > best_gain:
+                best_gain = float(gain[pos])
+                thr = 0.5 * (sorted_col[pos] + sorted_col[pos + 1])
+                best = (int(feat), float(thr))
+
+        if best is None:
+            return None
+        feat, thr = best
+        mask = values[idx, feat] <= thr
+        left_idx = idx[mask]
+        right_idx = idx[~mask]
+        if left_idx.size == 0 or right_idx.size == 0:
+            return None
+        return feat, thr, left_idx, right_idx
+
+    # ------------------------------------------------------------------
+    # Prediction
+    # ------------------------------------------------------------------
+    def predict_proba(self, values: np.ndarray) -> np.ndarray:
+        """Class-probability estimates, shape (n, n_classes)."""
+        values = self._check_fitted_x(values)
+        feature = np.asarray(self._feature)
+        threshold = np.asarray(self._threshold)
+        left = np.asarray(self._left)
+        right = np.asarray(self._right)
+        proba = np.vstack(self._proba)
+
+        node = np.zeros(values.shape[0], dtype=np.int64)
+        active = feature[node] >= 0
+        while active.any():
+            rows = np.where(active)[0]
+            cur = node[rows]
+            go_left = values[rows, feature[cur]] <= threshold[cur]
+            node[rows] = np.where(go_left, left[cur], right[cur])
+            active = feature[node] >= 0
+        return proba[node]
+
+    def predict(self, values: np.ndarray) -> np.ndarray:
+        """Predicted class labels."""
+        proba = self.predict_proba(values)  # raises ModelError if unfitted
+        assert self.classes_ is not None
+        return self.classes_[np.argmax(proba, axis=1)]
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._feature)
+
+    @property
+    def depth(self) -> int:
+        """Actual depth of the grown tree."""
+        if not self._feature:
+            raise ModelError("tree is not fitted")
+        depths = np.zeros(len(self._feature), dtype=int)
+        for node_id in range(len(self._feature)):
+            for child in (self._left[node_id], self._right[node_id]):
+                if child >= 0:
+                    depths[child] = depths[node_id] + 1
+        return int(depths.max())
+
+    # ------------------------------------------------------------------
+    # Validation helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _check_xy(values: np.ndarray, labels: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        values = np.asarray(values, dtype=float)
+        labels = np.asarray(labels)
+        if values.ndim != 2:
+            raise ModelError(f"expected (n, F) features, got {values.shape}")
+        if labels.shape != (values.shape[0],):
+            raise ModelError(
+                f"labels shape {labels.shape} incompatible with {values.shape[0]} rows"
+            )
+        if values.shape[0] < 1:
+            raise ModelError("cannot fit on an empty dataset")
+        if not np.all(np.isfinite(values)):
+            raise ModelError("features contain NaN or infinite values")
+        return values, labels
+
+    def _check_fitted_x(self, values: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise ModelError("tree is not fitted; call fit() first")
+        values = np.asarray(values, dtype=float)
+        if values.ndim != 2:
+            raise ModelError(f"expected (n, F) features, got {values.shape}")
+        return values

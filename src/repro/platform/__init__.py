@@ -1,0 +1,49 @@
+"""Edge-platform model: MCU/AFE/battery profiles, the Table III power
+budget, battery lifetime, memory accounting and the Algorithm 1 runtime
+model."""
+
+from .battery import (
+    DETECTION_DUTY,
+    LABELING_HOURS_PER_SEIZURE,
+    LifetimeEstimate,
+    WearablePlatform,
+    labeling_duty_cycle,
+)
+from .mcu import (
+    ADS1299,
+    PAPER_BATTERY,
+    STM32L151,
+    AnalogFrontEnd,
+    Battery,
+    Microcontroller,
+)
+from .memory import MemoryBudget, feature_buffer_bytes, raw_buffer_bytes
+from .power import PowerBudget, Task
+from .quantization import Q4_11, QFormat, dequantize, quantization_rms_error, quantize
+from .runtime import RuntimeModel, operation_count
+
+__all__ = [
+    "DETECTION_DUTY",
+    "LABELING_HOURS_PER_SEIZURE",
+    "LifetimeEstimate",
+    "WearablePlatform",
+    "labeling_duty_cycle",
+    "ADS1299",
+    "PAPER_BATTERY",
+    "STM32L151",
+    "AnalogFrontEnd",
+    "Battery",
+    "Microcontroller",
+    "MemoryBudget",
+    "feature_buffer_bytes",
+    "raw_buffer_bytes",
+    "PowerBudget",
+    "Task",
+    "Q4_11",
+    "QFormat",
+    "dequantize",
+    "quantization_rms_error",
+    "quantize",
+    "RuntimeModel",
+    "operation_count",
+]

@@ -1,0 +1,104 @@
+"""Hardware profiles of the target wearable platform (Sec. V-B).
+
+"The considered representative platform features an ultra-low power 32-bit
+microcontroller STM32L151 with an ARM Cortex-M3, whose maximum operating
+frequency is 32 MHz ... The memory of this system consists of 48 KB RAM
+and 384 KB Flash, the battery has a capacity of 570 mAh and it includes a
+24-bit ADC [ADS1299-4]."
+
+The current draws used in Table III are encoded as device profiles here so
+the power model (:mod:`repro.platform.power`) is pure arithmetic over
+explicit data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..exceptions import PlatformError
+
+__all__ = ["Microcontroller", "AnalogFrontEnd", "Battery", "STM32L151", "ADS1299", "PAPER_BATTERY"]
+
+
+@dataclass(frozen=True)
+class Microcontroller:
+    """MCU profile: compute and memory resources plus current draws."""
+
+    name: str
+    max_freq_hz: float
+    ram_bytes: int
+    flash_bytes: int
+    active_current_ma: float
+    idle_current_ma: float
+
+    def __post_init__(self) -> None:
+        if self.max_freq_hz <= 0:
+            raise PlatformError("max_freq_hz must be positive")
+        if self.ram_bytes <= 0 or self.flash_bytes <= 0:
+            raise PlatformError("memory sizes must be positive")
+        if self.active_current_ma <= 0 or self.idle_current_ma < 0:
+            raise PlatformError("invalid current draws")
+        if self.idle_current_ma >= self.active_current_ma:
+            raise PlatformError("idle current must be below active current")
+
+
+@dataclass(frozen=True)
+class AnalogFrontEnd:
+    """EEG acquisition front-end profile (per electrode pair)."""
+
+    name: str
+    current_per_channel_ma: float
+    adc_bits: int
+    max_sample_rate_hz: float
+
+    def __post_init__(self) -> None:
+        if self.current_per_channel_ma <= 0:
+            raise PlatformError("acquisition current must be positive")
+        if self.adc_bits < 1:
+            raise PlatformError("adc_bits must be >= 1")
+        if self.max_sample_rate_hz <= 0:
+            raise PlatformError("max sample rate must be positive")
+
+
+@dataclass(frozen=True)
+class Battery:
+    """Battery profile."""
+
+    capacity_mah: float
+
+    def __post_init__(self) -> None:
+        if self.capacity_mah <= 0:
+            raise PlatformError("battery capacity must be positive")
+
+    def lifetime_hours(self, average_current_ma: float) -> float:
+        """Hours of operation at a constant average current draw."""
+        if average_current_ma <= 0:
+            raise PlatformError(
+                f"average current must be positive, got {average_current_ma}"
+            )
+        return self.capacity_mah / average_current_ma
+
+
+#: The paper's MCU.  Active current 10.5 mA is the Table III processing
+#: figure (STM32L151 running from flash at 32 MHz); idle 0.018 mA is the
+#: Table III idle row (low-power sleep with RTC).
+STM32L151 = Microcontroller(
+    name="STM32L151",
+    max_freq_hz=32e6,
+    ram_bytes=48 * 1024,
+    flash_bytes=384 * 1024,
+    active_current_ma=10.5,
+    idle_current_ma=0.018,
+)
+
+#: The paper's acquisition chain: Table III lists "EEG Acquisition (x2)"
+#: at 0.870 mA total for the two electrode pairs.
+ADS1299 = AnalogFrontEnd(
+    name="ADS1299-4",
+    current_per_channel_ma=0.435,
+    adc_bits=24,
+    max_sample_rate_hz=16e3,
+)
+
+#: The paper's 570 mAh battery.
+PAPER_BATTERY = Battery(capacity_mah=570.0)

@@ -1,0 +1,17 @@
+"""The closed self-learning loop of Fig. 1: real-time detector, patient
+trigger events, and the pipeline that turns missed seizures into
+personalized training data."""
+
+from .detector import DetectionEvent, RealTimeDetector
+from .events import EventKind, PatientTrigger, TimelineEvent
+from .pipeline import SelfLearningPipeline, SelfLearningReport
+
+__all__ = [
+    "DetectionEvent",
+    "RealTimeDetector",
+    "EventKind",
+    "PatientTrigger",
+    "TimelineEvent",
+    "SelfLearningPipeline",
+    "SelfLearningReport",
+]

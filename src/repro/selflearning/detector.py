@@ -1,0 +1,163 @@
+"""Supervised real-time seizure detector (Sec. III-C).
+
+Wraps the e-Glass feature family and the random-forest classifier into a
+record-level detector: window features -> RF probability -> alarm
+smoothing.  The detector is label-source-agnostic — the whole point of the
+paper is that it can be trained from expert labels *or* the a-posteriori
+algorithm's self-labels, and Fig. 4 compares the two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..data.records import EEGRecord
+from ..exceptions import ModelError
+from ..features.base import FeatureExtractor
+from ..features.eglass import EGlassFeatureExtractor
+from ..features.extraction import extract_features, extract_labeled_features
+from ..features.normalize import ZScoreScaler
+from ..ml.forest import RandomForestClassifier
+from ..ml.metrics import ClassificationReport, classification_report
+from ..ml.validation import TrainingSet
+from ..signals.windowing import WindowSpec
+
+__all__ = ["DetectionEvent", "RealTimeDetector"]
+
+
+@dataclass(frozen=True)
+class DetectionEvent:
+    """A raised alarm: a maximal run of consecutive positive windows."""
+
+    onset_s: float
+    offset_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.offset_s - self.onset_s
+
+
+@dataclass
+class RealTimeDetector:
+    """Window-level RF detector with alarm smoothing.
+
+    Parameters
+    ----------
+    extractor:
+        Feature definition (default: the 54x2 e-Glass family).
+    spec:
+        Window geometry (default 4 s / 1 s, as in the paper).
+    n_estimators / max_depth:
+        Forest capacity.
+    threshold:
+        Seizure probability above which a window is positive.
+    min_consecutive:
+        Windows that must be consecutively positive before an alarm is
+        raised — standard debouncing in wearable detectors; 3 windows at
+        1 s step adds 3 s latency and suppresses isolated false windows.
+    seed:
+        Forest seed.
+    """
+
+    extractor: FeatureExtractor = field(default_factory=EGlassFeatureExtractor)
+    spec: WindowSpec = field(default_factory=lambda: WindowSpec(4.0, 1.0))
+    n_estimators: int = 40
+    max_depth: int | None = 10
+    threshold: float = 0.5
+    min_consecutive: int = 3
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.threshold < 1.0:
+            raise ModelError(f"threshold must be in (0, 1), got {self.threshold}")
+        if self.min_consecutive < 1:
+            raise ModelError("min_consecutive must be >= 1")
+        self._scaler = ZScoreScaler()
+        self._forest: RandomForestClassifier | None = None
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+    def fit(self, training_set: TrainingSet) -> "RealTimeDetector":
+        """Train from a prepared window-level training set."""
+        if training_set.n_positive == 0:
+            raise ModelError("training set has no seizure windows")
+        values = self._scaler.fit_transform(training_set.values)
+        self._forest = RandomForestClassifier(
+            n_estimators=self.n_estimators,
+            max_depth=self.max_depth,
+            class_weight="balanced",
+            random_state=self.seed,
+        )
+        self._forest.fit(values, training_set.labels)
+        return self
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._forest is not None
+
+    # ------------------------------------------------------------------
+    # Inference
+    # ------------------------------------------------------------------
+    def window_probabilities(self, record: EEGRecord) -> np.ndarray:
+        """Per-window seizure probability over a record."""
+        if self._forest is None:
+            raise ModelError("detector is not fitted; call fit() first")
+        feats = extract_features(record, self.extractor, self.spec)
+        values = self._scaler.transform(feats.values)
+        proba = self._forest.predict_proba(values)
+        assert self._forest.classes_ is not None
+        pos_col = int(np.where(self._forest.classes_ == 1)[0][0])
+        return proba[:, pos_col]
+
+    def window_predictions(self, record: EEGRecord) -> np.ndarray:
+        """Binary per-window decisions (before alarm smoothing)."""
+        return (self.window_probabilities(record) >= self.threshold).astype(np.int64)
+
+    def detect(self, record: EEGRecord) -> list[DetectionEvent]:
+        """Run detection and return debounced alarm events."""
+        positive = self.window_predictions(record)
+        events: list[DetectionEvent] = []
+        run_start: int | None = None
+        for i, flag in enumerate(np.append(positive, 0)):
+            if flag and run_start is None:
+                run_start = i
+            elif not flag and run_start is not None:
+                if i - run_start >= self.min_consecutive:
+                    events.append(
+                        DetectionEvent(
+                            onset_s=run_start * self.spec.step_s,
+                            offset_s=i * self.spec.step_s + self.spec.length_s,
+                        )
+                    )
+                run_start = None
+        return events
+
+    def caught_seizure(self, record: EEGRecord, tolerance_s: float = 60.0) -> bool:
+        """True if any alarm overlaps (within tolerance) a true seizure."""
+        events = self.detect(record)
+        for ann in record.annotations:
+            for ev in events:
+                if ev.onset_s < ann.offset_s + tolerance_s and ev.offset_s > (
+                    ann.onset_s - tolerance_s
+                ):
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, record: EEGRecord) -> ClassificationReport:
+        """Window-level sensitivity/specificity/gmean on an annotated
+        record (the Sec. VI-B metrics)."""
+        feats, labels = extract_labeled_features(record, self.extractor, self.spec)
+        if self._forest is None:
+            raise ModelError("detector is not fitted; call fit() first")
+        values = self._scaler.transform(feats.values)
+        proba = self._forest.predict_proba(values)
+        assert self._forest.classes_ is not None
+        pos_col = int(np.where(self._forest.classes_ == 1)[0][0])
+        pred = (proba[:, pos_col] >= self.threshold).astype(np.int64)
+        return classification_report(labels, pred)

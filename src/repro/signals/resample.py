@@ -1,0 +1,66 @@
+"""Sample-rate conversion for the acquisition front end.
+
+The target platform "acquires EEG signals ... at a sampling frequency
+ranging from 125 Hz to 16 kHz" (Sec. V-B), while the evaluation data and
+feature pipeline run at 256 Hz.  This module provides anti-aliased
+integer-factor decimation and rational resampling so records captured at
+any front-end rate can enter the standard pipeline.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import signal as _sig
+
+from ..exceptions import SignalError
+
+__all__ = ["decimate", "resample_to", "resample_record"]
+
+
+def decimate(x: np.ndarray, factor: int) -> np.ndarray:
+    """Anti-aliased decimation by an integer factor (zero-phase IIR)."""
+    x = np.asarray(x, dtype=float)
+    if factor < 1:
+        raise SignalError(f"decimation factor must be >= 1, got {factor}")
+    if factor == 1:
+        return x.copy()
+    if x.shape[-1] < 8 * factor:
+        raise SignalError(
+            f"signal too short ({x.shape[-1]} samples) to decimate by {factor}"
+        )
+    return _sig.decimate(x, factor, axis=-1, zero_phase=True)
+
+
+def resample_to(x: np.ndarray, fs_in: float, fs_out: float) -> np.ndarray:
+    """Rational resampling from ``fs_in`` to ``fs_out`` (polyphase FIR)."""
+    if fs_in <= 0 or fs_out <= 0:
+        raise SignalError("sampling rates must be positive")
+    x = np.asarray(x, dtype=float)
+    if math.isclose(fs_in, fs_out):
+        return x.copy()
+    # Find a small rational approximation up/down = fs_out/fs_in.
+    from fractions import Fraction
+
+    frac = Fraction(fs_out / fs_in).limit_denominator(1000)
+    up, down = frac.numerator, frac.denominator
+    if up < 1 or down < 1:
+        raise SignalError(f"cannot express {fs_in} -> {fs_out} as a ratio")
+    return _sig.resample_poly(x, up, down, axis=-1)
+
+
+def resample_record(record, fs_out: float):
+    """Return a copy of an :class:`~repro.data.records.EEGRecord` at a new
+    sampling rate; annotations (in seconds) are unchanged."""
+    from ..data.records import EEGRecord
+
+    data = resample_to(record.data, record.fs, fs_out)
+    return EEGRecord(
+        data=data,
+        fs=fs_out,
+        channel_names=record.channel_names,
+        annotations=list(record.annotations),
+        patient_id=record.patient_id,
+        record_id=f"{record.record_id}@{fs_out:g}Hz",
+    )

@@ -1,0 +1,33 @@
+"""Shared fixtures: small, fast synthetic records reused across tests."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import SyntheticEEGDataset
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """Fresh deterministic generator per test: keeps every test's data
+    independent of execution order."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def dataset() -> SyntheticEEGDataset:
+    """Cohort dataset generating short (5-6 min) records for test speed."""
+    return SyntheticEEGDataset(duration_range_s=(300.0, 360.0))
+
+
+@pytest.fixture(scope="session")
+def sample_record(dataset):
+    """One deterministic single-seizure record (patient 1, seizure 0)."""
+    return dataset.generate_sample(1, 0, 0)
+
+
+@pytest.fixture(scope="session")
+def seizure_free_record(dataset):
+    """One deterministic interictal record."""
+    return dataset.generate_seizure_free(1, 120.0, 0)

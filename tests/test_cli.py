@@ -1,0 +1,85 @@
+"""Tests for the command-line interface (``python -m repro``)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.data import save_record
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_label_requires_duration(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["label", "somefile"])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.patient == 1
+        assert args.duration_min == 8.0
+
+
+class TestSimulate:
+    def test_runs_and_prints_delta(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--patient", "8",
+                "--duration-min", "5",
+                "--duration-max", "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "delta =" in out
+        assert "ground truth" in out
+
+    def test_invalid_duration_range_errors(self, capsys):
+        code = main(
+            ["simulate", "--duration-min", "10", "--duration-max", "5"]
+        )
+        assert code == 2
+
+
+class TestLabel:
+    def test_labels_saved_record(self, tmp_path, dataset, capsys):
+        record = dataset.generate_sample(9, 0, 0)
+        base = tmp_path / "rec"
+        save_record(record, base)
+        code = main(
+            ["label", str(base), "--avg-duration",
+             str(dataset.mean_seizure_duration(9))]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "detected seizure" in out
+        assert "delta =" in out  # expert summary was loaded and compared
+
+    def test_reference_method(self, tmp_path, dataset, capsys):
+        record = dataset.generate_sample(6, 0, 0)
+        base = tmp_path / "rec"
+        save_record(record, base)
+        code = main(
+            ["label", str(base), "--avg-duration", "40", "--method", "reference"]
+        )
+        assert code == 0
+
+
+class TestLifetime:
+    def test_full_system(self, capsys):
+        code = main(["lifetime", "--seizures-per-day", "1.0"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2.59 days" in out
+        assert "EEG Labeling" in out
+
+    def test_labeling_only(self, capsys):
+        code = main(
+            ["lifetime", "--seizures-per-day", "1.0", "--labeling-only"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "17.9" in out  # ~430 h = 17.93 days

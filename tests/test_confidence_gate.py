@@ -1,0 +1,59 @@
+"""End-to-end test of the confidence-gated self-labeling extension."""
+
+import pytest
+
+from repro.core.labeling import APosterioriLabeler
+from repro.exceptions import ModelError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.selflearning.detector import RealTimeDetector
+from repro.selflearning.pipeline import SelfLearningPipeline
+
+
+def make_pipeline(dataset, min_confidence):
+    return SelfLearningPipeline(
+        labeler=APosterioriLabeler(),
+        detector=RealTimeDetector(extractor=Paper10FeatureExtractor(), n_estimators=10),
+        avg_seizure_duration_s=dataset.mean_seizure_duration(8),
+        seizure_free_pool=[dataset.generate_seizure_free(8, 150.0, 0)],
+        min_train_seizures=2,
+        lookback_s=450.0,
+        min_confidence=min_confidence,
+    )
+
+
+class TestConfidenceGate:
+    def test_invalid_threshold_raises(self, dataset):
+        with pytest.raises(ModelError):
+            make_pipeline(dataset, min_confidence=1.0)
+
+    def test_zero_threshold_accepts_everything(self, dataset):
+        pipeline = make_pipeline(dataset, min_confidence=0.0)
+        rec = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        report = pipeline.observe_record(rec)
+        assert report.n_self_labels == 2
+        assert pipeline.n_rejected_labels == 0
+
+    def test_impossible_threshold_rejects_everything(self, dataset):
+        pipeline = make_pipeline(dataset, min_confidence=0.99)
+        rec = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        report = pipeline.observe_record(rec)
+        assert report.n_self_labels == 0
+        assert pipeline.n_rejected_labels == 2
+        # Nothing in the buffer -> no retraining happened.
+        assert not report.retrained
+        assert not pipeline.detector.is_fitted
+
+    def test_moderate_threshold_keeps_clean_labels(self, dataset):
+        # Patient 8's seizures are high-contrast: a moderate gate must
+        # keep them.
+        pipeline = make_pipeline(dataset, min_confidence=0.3)
+        rec = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        report = pipeline.observe_record(rec)
+        assert report.n_self_labels == 2
+        assert pipeline.n_rejected_labels == 0

@@ -1,0 +1,110 @@
+"""Unit tests for the Sec. VI-A aggregation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import (
+    aggregate_cohort,
+    fraction_within,
+    geometric_mean,
+    score_seizure,
+)
+from repro.exceptions import LabelingError
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert np.isclose(geometric_mean([1.0, 4.0]), 2.0)
+
+    def test_constant_sequence(self):
+        assert np.isclose(geometric_mean([0.5, 0.5, 0.5]), 0.5)
+
+    def test_leq_arithmetic_mean(self, rng):
+        values = rng.uniform(0.1, 1.0, 50)
+        assert geometric_mean(values) <= values.mean() + 1e-12
+
+    def test_zero_propagates(self):
+        assert geometric_mean([0.9, 0.0, 0.8]) == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(LabelingError):
+            geometric_mean([])
+
+    def test_negative_raises(self):
+        with pytest.raises(LabelingError):
+            geometric_mean([0.5, -0.1])
+
+
+class TestScoreSeizure:
+    def test_aggregates(self):
+        score = score_seizure(1, 0, [10.0, 20.0], [0.99, 0.98])
+        assert score.mean_delta_s == 15.0
+        assert np.isclose(score.geomean_delta_norm, np.sqrt(0.99 * 0.98))
+        assert score.n_samples == 2
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(LabelingError):
+            score_seizure(1, 0, [10.0], [0.9, 0.8])
+
+    def test_empty_raises(self):
+        with pytest.raises(LabelingError):
+            score_seizure(1, 0, [], [])
+
+
+class TestAggregateCohort:
+    def _scores(self):
+        # Patient 1: deltas 5, 10, 100 (median 10); patient 2: 20, 30.
+        return [
+            score_seizure(1, 0, [5.0], [0.99]),
+            score_seizure(1, 1, [10.0], [0.98]),
+            score_seizure(1, 2, [100.0], [0.80]),
+            score_seizure(2, 0, [20.0], [0.95]),
+            score_seizure(2, 1, [30.0], [0.94]),
+        ]
+
+    def test_patient_medians(self):
+        cohort = aggregate_cohort(self._scores())
+        assert cohort.patient(1).median_delta_s == 10.0
+        assert cohort.patient(2).median_delta_s == 25.0
+
+    def test_cohort_median_across_all_seizures(self):
+        cohort = aggregate_cohort(self._scores())
+        # All five per-seizure deltas: 5, 10, 100, 20, 30 -> median 20.
+        assert cohort.median_delta_s == 20.0
+
+    def test_outlier_robustness(self):
+        # The 100 s outlier must not drag the median the way a mean would.
+        cohort = aggregate_cohort(self._scores())
+        assert cohort.median_delta_s < np.mean([5, 10, 100, 20, 30])
+
+    def test_unknown_patient_raises(self):
+        cohort = aggregate_cohort(self._scores())
+        with pytest.raises(LabelingError):
+            cohort.patient(9)
+
+    def test_all_seizures_flattened(self):
+        cohort = aggregate_cohort(self._scores())
+        assert len(cohort.all_seizures()) == 5
+
+    def test_empty_raises(self):
+        with pytest.raises(LabelingError):
+            aggregate_cohort([])
+
+
+class TestFractionWithin:
+    def test_paper_style_thresholds(self):
+        scores = [
+            score_seizure(1, k, [d], [0.9])
+            for k, d in enumerate([3, 8, 14, 29, 45, 400])
+        ]
+        assert np.isclose(fraction_within(scores, 15.0), 3 / 6)
+        assert np.isclose(fraction_within(scores, 30.0), 4 / 6)
+        assert np.isclose(fraction_within(scores, 60.0), 5 / 6)
+
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(LabelingError):
+            fraction_within([score_seizure(1, 0, [1.0], [0.9])], 0.0)
+
+    def test_empty_raises(self):
+        with pytest.raises(LabelingError):
+            fraction_within([], 15.0)

@@ -1,0 +1,122 @@
+"""Unit tests for the reference Algorithm 1 implementation."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import a_posteriori_reference, validate_inputs
+from repro.exceptions import LabelingError
+
+
+def planted_features(rng, length=120, window=12, n_feat=4, shift=4.0, pos=50):
+    """Features with a distinct block of `window` points starting at pos."""
+    x = rng.standard_normal((length, n_feat))
+    x[pos : pos + window] += shift
+    return x
+
+
+class TestDetection:
+    def test_finds_planted_anomaly(self, rng):
+        x = planted_features(rng)
+        result = a_posteriori_reference(x, 12)
+        assert abs(result.position - 50) <= 2
+
+    def test_label_range(self, rng):
+        x = planted_features(rng)
+        result = a_posteriori_reference(x, 12)
+        lo, hi = result.label_range
+        assert hi - lo == 12
+
+    def test_distance_array_length(self, rng):
+        x = planted_features(rng, length=100, window=10, pos=40)
+        result = a_posteriori_reference(x, 10)
+        assert result.distances.shape == (90,)
+
+    def test_distances_nonnegative(self, rng):
+        result = a_posteriori_reference(rng.standard_normal((80, 3)), 8)
+        assert np.all(result.distances >= 0.0)
+
+    def test_anomaly_at_signal_start(self, rng):
+        x = planted_features(rng, pos=0)
+        result = a_posteriori_reference(x, 12)
+        assert result.position <= 2
+
+    def test_anomaly_at_signal_end(self, rng):
+        x = planted_features(rng, length=120, window=12, pos=108)
+        result = a_posteriori_reference(x, 12)
+        assert result.position >= 104
+
+    def test_stronger_anomaly_wins(self, rng):
+        x = rng.standard_normal((150, 4))
+        x[30:42] += 2.0   # weak
+        x[100:112] += 6.0  # strong
+        result = a_posteriori_reference(x, 12)
+        assert abs(result.position - 100) <= 2
+
+    def test_single_feature(self, rng):
+        x = planted_features(rng, n_feat=1)
+        result = a_posteriori_reference(x, 12)
+        assert abs(result.position - 50) <= 2
+
+    def test_window_length_one(self, rng):
+        x = rng.standard_normal((40, 2))
+        x[17] += 10.0
+        result = a_posteriori_reference(x, 1)
+        assert result.position == 17
+
+
+class TestNormalizationSemantics:
+    def test_scale_invariance_via_line1(self, rng):
+        # Multiplying a feature by a constant must not change the result,
+        # because Line 1 z-scores each feature.
+        x = planted_features(rng)
+        scaled = x.copy()
+        scaled[:, 0] *= 1000.0
+        a = a_posteriori_reference(x, 12)
+        b = a_posteriori_reference(scaled, 12)
+        assert a.position == b.position
+        assert np.allclose(a.distances, b.distances)
+
+    def test_normalize_false_uses_raw_values(self, rng):
+        x = planted_features(rng)
+        raw = a_posteriori_reference(x, 12, normalize=False)
+        z = a_posteriori_reference(x, 12, normalize=True)
+        assert not np.allclose(raw.distances, z.distances)
+
+    def test_constant_feature_ignored(self, rng):
+        x = planted_features(rng)
+        x_extra = np.hstack([x, np.full((x.shape[0], 1), 3.3)])
+        a = a_posteriori_reference(x, 12)
+        b = a_posteriori_reference(x_extra, 12)
+        assert np.allclose(a.distances, b.distances)
+
+
+class TestGridStep:
+    @pytest.mark.parametrize("step", [1, 2, 4, 8])
+    def test_detection_robust_to_grid_step(self, rng, step):
+        x = planted_features(rng)
+        result = a_posteriori_reference(x, 12, grid_step=step)
+        assert abs(result.position - 50) <= 2
+
+    def test_invalid_grid_step_raises(self, rng):
+        with pytest.raises(LabelingError):
+            a_posteriori_reference(rng.standard_normal((50, 2)), 5, grid_step=0)
+
+
+class TestValidation:
+    def test_window_not_smaller_than_length_raises(self, rng):
+        with pytest.raises(LabelingError):
+            a_posteriori_reference(rng.standard_normal((10, 2)), 10)
+
+    def test_zero_window_raises(self, rng):
+        with pytest.raises(LabelingError):
+            a_posteriori_reference(rng.standard_normal((10, 2)), 0)
+
+    def test_1d_features_raise(self, rng):
+        with pytest.raises(LabelingError):
+            validate_inputs(rng.standard_normal(30), 5)
+
+    def test_nan_raises(self, rng):
+        x = rng.standard_normal((30, 2))
+        x[3, 1] = np.nan
+        with pytest.raises(LabelingError):
+            a_posteriori_reference(x, 5)

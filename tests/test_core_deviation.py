@@ -1,0 +1,95 @@
+"""Unit tests for the deviation metric (Eqs. 1-2, Fig. 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.deviation import deviation, max_deviation, normalized_deviation
+from repro.data.records import SeizureAnnotation
+from repro.exceptions import LabelingError
+
+
+def ann(onset, offset, source="expert"):
+    return SeizureAnnotation(onset, offset, source=source)
+
+
+class TestDeviation:
+    def test_perfect_label_zero(self):
+        truth = ann(100.0, 160.0)
+        assert deviation(truth, ann(100.0, 160.0)) == 0.0
+
+    def test_pure_shift(self):
+        truth = ann(100.0, 160.0)
+        assert deviation(truth, ann(110.0, 170.0)) == 10.0
+
+    def test_eq1_formula(self):
+        truth = ann(100.0, 160.0)
+        pred = ann(95.0, 175.0)
+        assert deviation(truth, pred) == (5.0 + 15.0) / 2
+
+    def test_symmetry(self):
+        a, b = ann(50.0, 80.0), ann(60.0, 95.0)
+        assert deviation(a, b) == deviation(b, a)
+
+    def test_length_mismatch_counts(self):
+        # Same onset, different duration.
+        truth = ann(100.0, 160.0)
+        pred = ann(100.0, 140.0)
+        assert deviation(truth, pred) == 10.0
+
+
+class TestMaxDeviation:
+    def test_centered_seizure(self):
+        truth = ann(450.0, 550.0)  # midpoint 500
+        assert max_deviation(truth, 1000.0) == 500.0
+
+    def test_early_seizure(self):
+        truth = ann(50.0, 150.0)  # midpoint 100 in a 1000 s record
+        assert max_deviation(truth, 1000.0) == 900.0
+
+    def test_late_seizure(self):
+        truth = ann(850.0, 950.0)  # midpoint 900
+        assert max_deviation(truth, 1000.0) == 900.0
+
+    def test_invalid_length_raises(self):
+        with pytest.raises(LabelingError):
+            max_deviation(ann(10.0, 20.0), 0.0)
+
+    def test_midpoint_beyond_record_raises(self):
+        with pytest.raises(LabelingError):
+            max_deviation(ann(900.0, 1100.0), 500.0)
+
+
+class TestNormalizedDeviation:
+    def test_perfect_label_is_one(self):
+        truth = ann(100.0, 160.0)
+        assert normalized_deviation(truth, truth, 1000.0) == 1.0
+
+    def test_eq2_value(self):
+        truth = ann(450.0, 550.0)
+        pred = ann(460.0, 560.0)
+        # delta = 10, N = 500.
+        assert np.isclose(normalized_deviation(truth, pred, 1000.0), 1.0 - 10 / 500)
+
+    def test_bounded_unit_interval(self, rng):
+        length = 1000.0
+        for _ in range(100):
+            t0, t1 = np.sort(rng.uniform(0, length, 2))
+            p0, p1 = np.sort(rng.uniform(0, length, 2))
+            if t1 - t0 < 1 or p1 - p0 < 1:
+                continue
+            v = normalized_deviation(ann(t0, t1), ann(p0, p1), length)
+            assert 0.0 <= v <= 1.0
+
+    def test_worst_case_near_zero(self):
+        # Seizure at the very start, prediction at the very end.
+        truth = ann(0.0, 10.0)
+        pred = ann(990.0, 1000.0)
+        assert normalized_deviation(truth, pred, 1000.0) < 0.01
+
+    def test_paper_headline_consistency(self):
+        # delta = 10.1 s on a centred seizure in a ~30 min signal gives
+        # approximately the paper's ~0.99 delta_norm.
+        truth = ann(880.0, 920.0)
+        pred = ann(890.1, 930.1)
+        v = normalized_deviation(truth, pred, 1800.0)
+        assert 0.985 < v < 0.995

@@ -1,0 +1,108 @@
+"""Unit tests for detection diagnostics and multi-seizure extensions."""
+
+import numpy as np
+import pytest
+
+from repro.core.algorithm import DetectionResult
+from repro.core.diagnostics import label_confidence, top_k_detections
+from repro.core.fast import a_posteriori_fast
+from repro.exceptions import LabelingError
+
+
+def result_from(distances, w=5):
+    distances = np.asarray(distances, dtype=float)
+    return DetectionResult(
+        position=int(np.argmax(distances)), window_length=w, distances=distances
+    )
+
+
+class TestLabelConfidence:
+    def test_decisive_peak_high_confidence(self):
+        d = np.ones(50) * 0.1
+        d[20] = 10.0
+        diag = label_confidence(result_from(d))
+        assert diag.confidence > 0.9
+        assert diag.peak_distance == 10.0
+
+    def test_two_equal_peaks_zero_confidence(self):
+        d = np.ones(50) * 0.1
+        d[10] = 5.0
+        d[40] = 5.0
+        diag = label_confidence(result_from(d))
+        assert diag.confidence < 0.01
+        assert diag.runner_up_position in (10, 40)
+
+    def test_nearby_competitor_ignored(self):
+        # A competitor inside the suppression zone is the same event.
+        d = np.ones(50) * 0.1
+        d[20] = 10.0
+        d[22] = 9.5  # within one window length of the peak
+        diag = label_confidence(result_from(d, w=5))
+        assert diag.confidence > 0.9
+
+    def test_snr_reflects_peak_prominence(self):
+        flat = label_confidence(result_from(np.ones(30)))
+        peaky = label_confidence(result_from(np.concatenate([np.ones(29), [50.0]])))
+        assert peaky.snr > flat.snr
+
+    def test_empty_curve_raises(self):
+        empty = DetectionResult(
+            position=0, window_length=5, distances=np.array([])
+        )
+        with pytest.raises(LabelingError):
+            label_confidence(empty)
+
+    def test_confidence_bounded(self, rng):
+        for _ in range(20):
+            d = np.abs(rng.standard_normal(60))
+            diag = label_confidence(result_from(d))
+            assert 0.0 <= diag.confidence <= 1.0
+
+    def test_real_detection_confidence(self, rng):
+        x = rng.standard_normal((120, 5))
+        x[50:60] += 5.0
+        det = a_posteriori_fast(x, 10)
+        diag = label_confidence(det)
+        assert diag.confidence > 0.3
+
+
+class TestTopK:
+    def test_single_peak(self):
+        d = np.ones(60) * 0.1
+        d[25] = 10.0
+        picks = top_k_detections(result_from(d), k=1)
+        assert picks == [25]
+
+    def test_two_disjoint_peaks(self):
+        d = np.ones(60) * 0.1
+        d[10] = 10.0
+        d[45] = 8.0
+        picks = top_k_detections(result_from(d), k=2)
+        assert picks == [10, 45]
+
+    def test_suppression_window(self):
+        # Second-highest value adjacent to the peak must be suppressed.
+        d = np.ones(60) * 0.1
+        d[10] = 10.0
+        d[12] = 9.0
+        d[45] = 5.0
+        picks = top_k_detections(result_from(d, w=5), k=2)
+        assert picks == [10, 45]
+
+    def test_fewer_than_k_available(self):
+        d = np.ones(8) * 0.5
+        picks = top_k_detections(result_from(d, w=10), k=3)
+        assert len(picks) == 1
+
+    def test_ordering_by_distance(self, rng):
+        x = rng.standard_normal((200, 5))
+        x[30:40] += 6.0
+        x[120:130] += 3.0
+        det = a_posteriori_fast(x, 10)
+        picks = top_k_detections(det, k=2)
+        assert abs(picks[0] - 30) <= 2
+        assert abs(picks[1] - 120) <= 2
+
+    def test_invalid_k_raises(self):
+        with pytest.raises(LabelingError):
+            top_k_detections(result_from(np.ones(10)), k=0)

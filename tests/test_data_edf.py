@@ -1,0 +1,131 @@
+"""Unit tests for the EDF writer/reader and annotation summaries."""
+
+import numpy as np
+import pytest
+
+from repro.data.edf import (
+    load_record,
+    read_edf,
+    read_summary,
+    save_record,
+    write_edf,
+    write_summary,
+)
+from repro.data.records import EEGRecord, SeizureAnnotation
+from repro.exceptions import DataError
+
+FS = 256.0
+
+
+def small_record(duration=10.0, anns=()):
+    rng = np.random.default_rng(7)
+    data = 50.0 * rng.standard_normal((2, int(duration * FS)))
+    return EEGRecord(
+        data=data,
+        fs=FS,
+        annotations=list(anns),
+        patient_id="P01",
+        record_id="P01_TEST",
+    )
+
+
+class TestEDFRoundTrip:
+    def test_data_within_quantization(self, tmp_path):
+        rec = small_record()
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        back = read_edf(path)
+        # 16-bit over the symmetric physical range.
+        tol = 2 * np.abs(rec.data).max() / 65536 * 1.5
+        assert back.data.shape == rec.data.shape
+        assert np.abs(back.data - rec.data).max() <= tol
+
+    def test_metadata_preserved(self, tmp_path):
+        rec = small_record()
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        back = read_edf(path)
+        assert back.fs == FS
+        assert back.channel_names == ("F7T3", "F8T4")
+        assert back.patient_id == "P01"
+        assert back.record_id == "P01_TEST"
+
+    def test_non_integral_second_duration_trimmed(self, tmp_path):
+        rec = small_record(duration=10.5)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        back = read_edf(path)
+        assert back.n_samples == rec.n_samples
+
+    def test_non_integer_fs_raises(self, tmp_path):
+        rec = EEGRecord(data=np.zeros((2, 1000)), fs=250.5)
+        with pytest.raises(DataError):
+            write_edf(rec, tmp_path / "x.edf")
+
+    def test_truncated_file_raises(self, tmp_path):
+        rec = small_record(duration=5.0)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 1000])
+        with pytest.raises(DataError):
+            read_edf(path)
+
+    def test_garbage_file_raises(self, tmp_path):
+        path = tmp_path / "junk.edf"
+        path.write_bytes(b"not an edf")
+        with pytest.raises(DataError):
+            read_edf(path)
+
+
+class TestSummary:
+    def test_roundtrip(self, tmp_path):
+        anns = [SeizureAnnotation(12.5, 60.0), SeizureAnnotation(100.0, 130.0)]
+        rec = small_record(duration=200.0, anns=anns)
+        path = tmp_path / "rec.txt"
+        write_summary(rec, path)
+        back = read_summary(path)
+        assert len(back) == 2
+        assert back[0].onset_s == 12.5
+        assert back[1].offset_s == 130.0
+
+    def test_empty_annotations(self, tmp_path):
+        rec = small_record()
+        path = tmp_path / "rec.txt"
+        write_summary(rec, path)
+        assert read_summary(path) == []
+
+    def test_mismatched_entries_raise(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("Seizure 1 Start Time: 5.0 seconds\n")
+        with pytest.raises(DataError):
+            read_summary(path)
+
+
+class TestSaveLoad:
+    def test_full_roundtrip(self, tmp_path):
+        rec = small_record(duration=30.0, anns=[SeizureAnnotation(5.0, 15.0)])
+        base = tmp_path / "record"
+        edf_path, summary_path = save_record(rec, base)
+        assert edf_path.endswith(".edf")
+        back = load_record(base)
+        assert back.seizure_count == 1
+        assert back.annotations[0].onset_s == 5.0
+
+    def test_load_without_summary(self, tmp_path):
+        rec = small_record(duration=5.0)
+        write_edf(rec, f"{tmp_path}/solo.edf")
+        back = load_record(f"{tmp_path}/solo")
+        assert back.annotations == []
+
+    def test_dataset_sample_roundtrip(self, tmp_path, sample_record):
+        base = tmp_path / "sample"
+        save_record(sample_record, base)
+        back = load_record(base)
+        tol = 2 * np.abs(sample_record.data).max() / 65536 * 1.5
+        assert np.abs(back.data - sample_record.data).max() <= tol
+        assert np.isclose(
+            back.annotations[0].onset_s,
+            sample_record.annotations[0].onset_s,
+            atol=0.001,
+        )

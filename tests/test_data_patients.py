@@ -1,0 +1,78 @@
+"""Unit tests for the paper-matched patient cohort."""
+
+import pytest
+
+from repro.data.patients import PAPER_PATIENTS, PatientProfile, patient_by_id
+from repro.data.seizures import SeizureMorphology
+from repro.data.synthetic import BackgroundEEGModel
+from repro.exceptions import DataError
+
+
+class TestCohortStructure:
+    def test_nine_patients(self):
+        assert len(PAPER_PATIENTS) == 9
+
+    def test_forty_five_seizures_total(self):
+        assert sum(p.n_seizures for p in PAPER_PATIENTS) == 45
+
+    def test_table_ii_seizure_counts(self):
+        counts = [p.n_seizures for p in PAPER_PATIENTS]
+        assert counts == [7, 3, 7, 4, 5, 3, 5, 4, 7]
+
+    def test_exactly_three_artifact_outliers(self):
+        outliers = [p for p in PAPER_PATIENTS if p.artifact_near_seizure is not None]
+        assert sorted(p.patient_id for p in outliers) == [2, 3, 4]
+
+    def test_patient_2_is_hardest(self):
+        # Lowest ictal contrast in the cohort, as in Table I.
+        gains = {p.patient_id: p.morphology.amplitude_gain for p in PAPER_PATIENTS}
+        assert gains[2] == min(gains.values())
+
+    def test_patients_8_9_are_easiest(self):
+        gains = {p.patient_id: p.morphology.amplitude_gain for p in PAPER_PATIENTS}
+        top_two = sorted(gains, key=gains.get, reverse=True)[:2]
+        assert set(top_two) == {8, 9}
+
+    def test_lookup(self):
+        assert patient_by_id(5).patient_id == 5
+        with pytest.raises(DataError):
+            patient_by_id(99)
+
+
+class TestProfileValidation:
+    def _base_kwargs(self):
+        return dict(
+            patient_id=1,
+            n_seizures=2,
+            mean_seizure_s=50.0,
+            seizure_jitter_s=10.0,
+            morphology=SeizureMorphology(),
+            background=BackgroundEEGModel(),
+        )
+
+    def test_valid_profile(self):
+        prof = PatientProfile(**self._base_kwargs())
+        assert prof.duration_range_s == (40.0, 60.0)
+
+    def test_effective_artifact_duration_defaults_to_mean(self):
+        prof = PatientProfile(**self._base_kwargs())
+        assert prof.effective_artifact_duration_s == 50.0
+
+    def test_explicit_artifact_duration(self):
+        prof = PatientProfile(**self._base_kwargs(), artifact_duration_s=25.0)
+        assert prof.effective_artifact_duration_s == 25.0
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"patient_id": 0},
+            {"n_seizures": 0},
+            {"mean_seizure_s": -1.0},
+            {"seizure_jitter_s": 60.0},
+            {"artifact_near_seizure": 5},
+        ],
+    )
+    def test_invalid_profile_raises(self, override):
+        kwargs = {**self._base_kwargs(), **override}
+        with pytest.raises(DataError):
+            PatientProfile(**kwargs)

@@ -1,0 +1,59 @@
+"""Unit tests for the Sec. VI-A evaluation-sample iteration."""
+
+import pytest
+
+from repro.data.sampling import (
+    DEFAULT_DURATION_RANGE_S,
+    ENV_PAPER_DURATIONS,
+    ENV_SAMPLES,
+    PAPER_DURATION_RANGE_S,
+    duration_range_from_env,
+    iter_evaluation_samples,
+    samples_per_seizure_from_env,
+)
+
+
+class TestEnvKnobs:
+    def test_default_sample_count(self, monkeypatch):
+        monkeypatch.delenv(ENV_SAMPLES, raising=False)
+        assert samples_per_seizure_from_env() == 3
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_SAMPLES, "100")
+        assert samples_per_seizure_from_env() == 100
+
+    def test_invalid_env_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_SAMPLES, "0")
+        with pytest.raises(ValueError):
+            samples_per_seizure_from_env()
+
+    def test_duration_default(self, monkeypatch):
+        monkeypatch.delenv(ENV_PAPER_DURATIONS, raising=False)
+        assert duration_range_from_env() == DEFAULT_DURATION_RANGE_S
+
+    def test_paper_durations_flag(self, monkeypatch):
+        monkeypatch.setenv(ENV_PAPER_DURATIONS, "1")
+        assert duration_range_from_env() == PAPER_DURATION_RANGE_S
+
+
+class TestIteration:
+    def test_sample_count_per_patient(self, dataset):
+        samples = list(
+            iter_evaluation_samples(dataset, samples_per_seizure=2, patient_id=6)
+        )
+        # Patient 6 has 3 seizures -> 6 samples.
+        assert len(samples) == 6
+
+    def test_each_sample_has_one_seizure(self, dataset):
+        for s in iter_evaluation_samples(dataset, 1, patient_id=8):
+            assert s.record.seizure_count == 1
+            assert s.event.patient_id == 8
+
+    def test_full_cohort_count(self, dataset):
+        events = {
+            (s.event.patient_id, s.event.seizure_index, s.sample_index)
+            for s in iter_evaluation_samples(
+                dataset, 1, duration_range_s=(300.0, 330.0)
+            )
+        }
+        assert len(events) == 45

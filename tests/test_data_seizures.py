@@ -1,0 +1,107 @@
+"""Unit tests for the ictal waveform generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.seizures import SeizureMorphology, generate_ictal, insert_seizure
+from repro.exceptions import DataError
+from repro.signals.spectral import band_power, peak_frequency
+
+FS = 256.0
+
+
+class TestMorphology:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"onset_freq_hz": 0.0},
+            {"sharpness": 0.0},
+            {"sharpness": 1.5},
+            {"chaos": 1.0},
+            {"buildup_fraction": 0.6},
+            {"amplitude_gain": -1.0},
+        ],
+    )
+    def test_invalid_params_raise(self, kwargs):
+        with pytest.raises(DataError):
+            SeizureMorphology(**kwargs)
+
+
+class TestGenerateIctal:
+    def test_shape(self, rng):
+        ict = generate_ictal(30.0, FS, SeizureMorphology(), 30.0, rng)
+        assert ict.shape == (2, int(30 * FS))
+
+    def test_amplitude_scales_with_gain(self, rng):
+        m_small = SeizureMorphology(amplitude_gain=1.0)
+        m_big = SeizureMorphology(amplitude_gain=4.0)
+        small = generate_ictal(30.0, FS, m_small, 30.0, rng)
+        big = generate_ictal(30.0, FS, m_big, 30.0, rng)
+        assert big.std() > 2.5 * small.std()
+
+    def test_power_concentrates_in_theta_delta(self, rng):
+        morph = SeizureMorphology(onset_freq_hz=6.0, offset_freq_hz=2.5)
+        ict = generate_ictal(60.0, FS, morph, 30.0, rng)[0]
+        low = band_power(ict, FS, (0.5, 8.0))
+        high = band_power(ict, FS, (13.0, 30.0))
+        assert low > 3 * high
+
+    def test_frequency_chirps_down(self, rng):
+        morph = SeizureMorphology(onset_freq_hz=7.0, offset_freq_hz=2.0, chaos=0.05)
+        ict = generate_ictal(60.0, FS, morph, 30.0, rng)[0]
+        n = ict.size
+        f_start = peak_frequency(ict[n // 8 : n // 4], FS)
+        f_end = peak_frequency(ict[-n // 4 : -n // 8], FS)
+        assert f_start > f_end
+
+    def test_envelope_ramps(self, rng):
+        ict = generate_ictal(40.0, FS, SeizureMorphology(), 30.0, rng)[0]
+        edge = np.abs(ict[: int(1.0 * FS)]).mean()
+        middle = np.abs(ict[int(15 * FS) : int(25 * FS)]).mean()
+        assert middle > 3 * edge
+
+    def test_too_short_raises(self, rng):
+        with pytest.raises(DataError):
+            generate_ictal(0.01, FS, SeizureMorphology(), 30.0, rng)
+
+    def test_negative_duration_raises(self, rng):
+        with pytest.raises(DataError):
+            generate_ictal(-5.0, FS, SeizureMorphology(), 30.0, rng)
+
+
+class TestInsertSeizure:
+    def test_inserted_energy(self, rng):
+        bg = np.zeros((2, int(60 * FS)))
+        ict = generate_ictal(10.0, FS, SeizureMorphology(), 30.0, rng)
+        out = insert_seizure(bg, ict, int(20 * FS), FS)
+        assert out[:, : int(19 * FS)].std() == 0.0
+        assert out[:, int(22 * FS) : int(28 * FS)].std() > 0.0
+
+    def test_inputs_not_modified(self, rng):
+        bg = np.zeros((2, int(30 * FS)))
+        ict = generate_ictal(5.0, FS, SeizureMorphology(), 30.0, rng)
+        before = ict.copy()
+        insert_seizure(bg, ict, 0, FS)
+        assert np.array_equal(ict, before)
+        assert bg.std() == 0.0
+
+    def test_crossfade_softens_boundaries(self, rng):
+        bg = np.zeros((2, int(60 * FS)))
+        ict = np.ones((2, int(10 * FS))) * 100.0
+        out = insert_seizure(bg, ict, int(20 * FS), FS, crossfade_s=1.0)
+        onset_idx = int(20 * FS)
+        # First inserted sample is faded near zero, mid-seizure is full.
+        assert abs(out[0, onset_idx]) < 1.0
+        assert np.isclose(out[0, onset_idx + int(5 * FS)], 100.0)
+
+    def test_out_of_bounds_raises(self, rng):
+        bg = np.zeros((2, int(10 * FS)))
+        ict = generate_ictal(5.0, FS, SeizureMorphology(), 30.0, rng)
+        with pytest.raises(DataError):
+            insert_seizure(bg, ict, int(8 * FS), FS)
+
+    def test_channel_mismatch_raises(self, rng):
+        bg = np.zeros((3, int(30 * FS)))
+        ict = generate_ictal(5.0, FS, SeizureMorphology(), 30.0, rng)
+        with pytest.raises(DataError):
+            insert_seizure(bg, ict, 0, FS)

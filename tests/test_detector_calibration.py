@@ -1,0 +1,55 @@
+"""Integration: ROC-calibrated operating point for the real-time detector."""
+
+import numpy as np
+import pytest
+
+from repro.features.extraction import extract_labeled_features
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.ml import build_balanced_training_set
+from repro.ml.roc import auc, best_gmean_threshold, roc_curve
+from repro.selflearning.detector import RealTimeDetector
+
+
+@pytest.fixture(scope="module")
+def detector_and_test(dataset):
+    ex = Paper10FeatureExtractor()
+    seiz = [dataset.generate_sample(9, k, 0) for k in (0, 1)]
+    free = [dataset.generate_seizure_free(9, 150.0, 0)]
+    ts = build_balanced_training_set(seiz, free, ex, context_s=30.0)
+    det = RealTimeDetector(extractor=ex, n_estimators=20)
+    det.fit(ts)
+    test = dataset.generate_sample(9, 2, 0)
+    _, labels = extract_labeled_features(test, ex)
+    return det, test, labels
+
+
+class TestCalibration:
+    def test_auc_is_high_for_working_detector(self, detector_and_test):
+        det, test, labels = detector_and_test
+        scores = det.window_probabilities(test)
+        n = min(scores.size, labels.size)
+        assert auc(roc_curve(labels[:n], scores[:n])) > 0.9
+
+    def test_calibrated_threshold_at_least_default(self, detector_and_test):
+        det, test, labels = detector_and_test
+        scores = det.window_probabilities(test)
+        n = min(scores.size, labels.size)
+        thr, gmean_best = best_gmean_threshold(labels[:n], scores[:n])
+        from repro.ml.metrics import geometric_mean_score
+
+        default = geometric_mean_score(
+            labels[:n], (scores[:n] >= det.threshold).astype(int)
+        )
+        assert gmean_best >= default - 1e-9
+        assert 0.0 < thr <= 1.0
+
+    def test_threshold_controls_tradeoff(self, detector_and_test):
+        det, test, labels = detector_and_test
+        scores = det.window_probabilities(test)
+        n = min(scores.size, labels.size)
+        from repro.ml.metrics import sensitivity, specificity
+
+        loose = (scores[:n] >= 0.2).astype(int)
+        strict = (scores[:n] >= 0.8).astype(int)
+        assert sensitivity(labels[:n], loose) >= sensitivity(labels[:n], strict)
+        assert specificity(labels[:n], strict) >= specificity(labels[:n], loose)

@@ -1,0 +1,83 @@
+"""Unit tests for Rényi, Shannon and spectral entropies."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.entropy.renyi import renyi_entropy
+from repro.entropy.shannon import shannon_entropy, spectral_entropy
+from repro.exceptions import SignalError
+
+
+class TestRenyi:
+    def test_uniform_data_near_max(self, rng):
+        x = rng.uniform(0, 1, 100000)
+        h = renyi_entropy(x, alpha=2.0, bins=16)
+        assert h > 0.95 * math.log2(16)
+
+    def test_constant_zero(self):
+        assert renyi_entropy(np.full(100, 3.3)) == 0.0
+
+    def test_empty_zero(self):
+        assert renyi_entropy(np.array([])) == 0.0
+
+    def test_alpha_one_equals_shannon(self, rng):
+        x = rng.standard_normal(5000)
+        assert np.isclose(
+            renyi_entropy(x, alpha=1.0, bins=16), shannon_entropy(x, bins=16)
+        )
+
+    def test_renyi_decreasing_in_alpha(self, rng):
+        x = rng.standard_normal(5000)
+        h1 = renyi_entropy(x, alpha=0.5)
+        h2 = renyi_entropy(x, alpha=2.0)
+        h3 = renyi_entropy(x, alpha=5.0)
+        assert h1 >= h2 >= h3
+
+    def test_normalized_in_unit_interval(self, rng):
+        h = renyi_entropy(rng.standard_normal(500), alpha=2.0, normalize=True)
+        assert 0.0 <= h <= 1.0
+
+    @pytest.mark.parametrize("alpha,bins", [(-1.0, 16), (2.0, 1)])
+    def test_invalid_params_raise(self, alpha, bins, rng):
+        with pytest.raises(SignalError):
+            renyi_entropy(rng.standard_normal(100), alpha=alpha, bins=bins)
+
+
+class TestShannon:
+    def test_two_level_signal_one_bit(self):
+        x = np.tile([0.0, 1.0], 500)
+        assert np.isclose(shannon_entropy(x, bins=2), 1.0)
+
+    def test_constant_zero(self):
+        assert shannon_entropy(np.full(64, 7.0)) == 0.0
+
+    def test_bounded_by_log_bins(self, rng):
+        h = shannon_entropy(rng.standard_normal(1000), bins=32)
+        assert h <= math.log2(32)
+
+    def test_invalid_bins_raises(self, rng):
+        with pytest.raises(SignalError):
+            shannon_entropy(rng.standard_normal(100), bins=1)
+
+
+class TestSpectralEntropy:
+    def test_white_noise_near_one(self, rng):
+        h = spectral_entropy(rng.standard_normal(4096), fs=256.0)
+        assert h > 0.85
+
+    def test_pure_tone_low(self):
+        t = np.arange(0, 8, 1 / 256.0)
+        h = spectral_entropy(np.sin(2 * np.pi * 10 * t), fs=256.0)
+        assert h < 0.5
+
+    def test_tone_lower_than_noise(self, rng):
+        t = np.arange(0, 4, 1 / 256.0)
+        tone = np.sin(2 * np.pi * 6 * t)
+        assert spectral_entropy(tone, 256.0) < spectral_entropy(
+            rng.standard_normal(t.size), 256.0
+        )
+
+    def test_zero_signal(self):
+        assert spectral_entropy(np.zeros(256), 256.0) == 0.0

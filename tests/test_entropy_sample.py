@@ -1,0 +1,83 @@
+"""Unit tests for sample and approximate entropy."""
+
+import numpy as np
+import pytest
+
+from repro.entropy.sample import approximate_entropy, sample_entropy
+from repro.exceptions import SignalError
+
+
+class TestSampleEntropy:
+    def test_regular_signal_low_entropy(self):
+        x = np.tile([1.0, 2.0], 100)
+        assert sample_entropy(x, m=2, k=0.2) < 0.1
+
+    def test_random_higher_than_periodic(self, rng):
+        periodic = np.sin(2 * np.pi * np.arange(200) / 20)
+        noise = rng.standard_normal(200)
+        assert sample_entropy(noise, m=2, k=0.2) > sample_entropy(
+            periodic, m=2, k=0.2
+        )
+
+    def test_constant_series_zero(self):
+        assert sample_entropy(np.full(50, 2.5)) == 0.0
+
+    def test_short_series_zero(self):
+        assert sample_entropy(np.array([1.0, 2.0, 3.0]), m=2) == 0.0
+
+    def test_no_matches_returns_finite_bound(self):
+        # Strictly exploding series: no template matches at tolerance.
+        x = np.array([2.0**i for i in range(12)])
+        h = sample_entropy(x, m=2, k=0.1)
+        assert np.isfinite(h) and h > 0
+
+    def test_larger_tolerance_not_higher_entropy(self, rng):
+        x = rng.standard_normal(150)
+        h_tight = sample_entropy(x, m=2, k=0.2)
+        h_loose = sample_entropy(x, m=2, k=0.35)
+        assert h_loose <= h_tight + 1e-9
+
+    def test_absolute_tolerance_override(self, rng):
+        x = rng.standard_normal(100)
+        assert np.isclose(
+            sample_entropy(x, m=2, r=0.2 * x.std()),
+            sample_entropy(x, m=2, k=0.2),
+        )
+
+    def test_paper_subband_size(self, rng):
+        # Level-6 subband of a 4 s window: 16 coefficients.
+        h = sample_entropy(rng.standard_normal(16), m=2, k=0.2)
+        assert np.isfinite(h)
+
+    @pytest.mark.parametrize("m", [0, -1])
+    def test_invalid_m_raises(self, m, rng):
+        with pytest.raises(SignalError):
+            sample_entropy(rng.standard_normal(50), m=m)
+
+    def test_2d_raises(self):
+        with pytest.raises(SignalError):
+            sample_entropy(np.ones((5, 5)))
+
+
+class TestApproximateEntropy:
+    def test_always_finite(self, rng):
+        for n in (10, 16, 64, 200):
+            h = approximate_entropy(rng.standard_normal(n), m=2, k=0.2)
+            assert np.isfinite(h)
+
+    def test_regular_lower_than_random(self, rng):
+        periodic = np.sin(2 * np.pi * np.arange(300) / 30)
+        noise = rng.standard_normal(300)
+        assert approximate_entropy(periodic, 2, 0.2) < approximate_entropy(
+            noise, 2, 0.2
+        )
+
+    def test_constant_zero(self):
+        assert approximate_entropy(np.full(64, 1.0)) == 0.0
+
+    def test_short_series_zero(self):
+        assert approximate_entropy(np.array([1.0, 2.0])) == 0.0
+
+    def test_invalid_m_raises(self, rng):
+        with pytest.raises(SignalError):
+            approximate_entropy(rng.standard_normal(50), m=0)

@@ -1,0 +1,91 @@
+"""Unit tests for the feature interfaces and FeatureMatrix container."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.base import FeatureExtractor, FeatureMatrix
+from repro.signals.windowing import WindowSpec
+
+
+class TinyExtractor(FeatureExtractor):
+    """Two trivial features for interface testing."""
+
+    @property
+    def feature_names(self):
+        return ("ch0_mean", "ch1_mean")
+
+    def extract_window(self, window, fs):
+        window = self._check_window(window)
+        return np.array([window[0].mean(), window[1].mean()])
+
+
+class TestExtractorInterface:
+    def test_n_features(self):
+        assert TinyExtractor().n_features == 2
+
+    def test_check_window_rejects_1d(self):
+        with pytest.raises(FeatureError):
+            TinyExtractor().extract_window(np.ones(100), 256.0)
+
+    def test_check_window_rejects_too_few_channels(self):
+        with pytest.raises(FeatureError):
+            TinyExtractor().extract_window(np.ones((1, 100)), 256.0)
+
+    def test_check_window_rejects_nan(self):
+        w = np.ones((2, 100))
+        w[0, 0] = np.nan
+        with pytest.raises(FeatureError):
+            TinyExtractor().extract_window(w, 256.0)
+
+
+class TestFeatureMatrix:
+    def _matrix(self):
+        return FeatureMatrix(
+            values=np.arange(12.0).reshape(4, 3),
+            feature_names=("a", "b", "c"),
+            spec=WindowSpec(4.0, 1.0),
+            fs=256.0,
+        )
+
+    def test_shape_properties(self):
+        fm = self._matrix()
+        assert fm.n_windows == 4
+        assert fm.n_features == 3
+
+    def test_window_start_times(self):
+        fm = self._matrix()
+        assert np.array_equal(fm.window_start_times(), [0.0, 1.0, 2.0, 3.0])
+
+    def test_column_by_name(self):
+        fm = self._matrix()
+        assert np.array_equal(fm.column("b"), [1.0, 4.0, 7.0, 10.0])
+        with pytest.raises(FeatureError):
+            fm.column("nope")
+
+    def test_select_reorders(self):
+        fm = self._matrix().select(("c", "a"))
+        assert fm.feature_names == ("c", "a")
+        assert np.array_equal(fm.values[:, 0], [2.0, 5.0, 8.0, 11.0])
+
+    def test_select_unknown_raises(self):
+        with pytest.raises(FeatureError):
+            self._matrix().select(("zz",))
+
+    def test_name_count_mismatch_raises(self):
+        with pytest.raises(FeatureError):
+            FeatureMatrix(
+                values=np.zeros((4, 3)),
+                feature_names=("a", "b"),
+                spec=WindowSpec(4.0, 1.0),
+                fs=256.0,
+            )
+
+    def test_non_2d_raises(self):
+        with pytest.raises(FeatureError):
+            FeatureMatrix(
+                values=np.zeros(5),
+                feature_names=("a",),
+                spec=WindowSpec(4.0, 1.0),
+                fs=256.0,
+            )

@@ -1,0 +1,102 @@
+"""Unit tests for the e-Glass 54-feature family."""
+
+import numpy as np
+import pytest
+
+from repro.features.eglass import (
+    N_EGLASS_PER_CHANNEL,
+    EGlassFeatureExtractor,
+    eglass_feature_names,
+)
+
+FS = 256.0
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return EGlassFeatureExtractor()
+
+
+class TestDefinition:
+    def test_54_per_channel(self):
+        assert N_EGLASS_PER_CHANNEL == 54
+        names = eglass_feature_names()
+        assert len(names) == 108
+        assert len([n for n in names if n.startswith("F7T3_")]) == 54
+
+    def test_names_unique(self):
+        names = eglass_feature_names()
+        assert len(set(names)) == len(names)
+
+    def test_custom_channels(self):
+        names = eglass_feature_names(("A", "B", "C"))
+        assert len(names) == 162
+
+
+class TestValues:
+    def test_shape_and_finite(self, extractor, rng):
+        w = rng.standard_normal((2, int(4 * FS))) * 30.0
+        v = extractor.extract_window(w, FS)
+        assert v.shape == (108,)
+        assert np.all(np.isfinite(v))
+
+    def test_mean_and_variance_features(self, extractor, rng):
+        w = rng.standard_normal((2, int(4 * FS)))
+        w[0] += 5.0
+        v = extractor.extract_window(w, FS)
+        names = list(extractor.feature_names)
+        assert np.isclose(v[names.index("F7T3_mean")], w[0].mean())
+        assert np.isclose(v[names.index("F8T4_variance")], w[1].var())
+
+    def test_line_length_of_constant_is_zero(self, extractor):
+        w = np.ones((2, int(4 * FS)))
+        v = extractor.extract_window(w, FS)
+        names = list(extractor.feature_names)
+        assert v[names.index("F7T3_line_length")] == 0.0
+        assert v[names.index("F7T3_zero_crossings")] == 0.0
+
+    def test_zero_crossings_of_tone(self, extractor):
+        t = np.arange(int(4 * FS)) / FS
+        tone = np.sin(2 * np.pi * 10.0 * t)  # 10 Hz for 4 s -> ~80 crossings
+        w = np.vstack([tone, tone])
+        v = extractor.extract_window(w, FS)
+        idx = list(extractor.feature_names).index("F7T3_zero_crossings")
+        assert 75 <= v[idx] <= 85
+
+    def test_band_power_consistency(self, extractor, rng):
+        # Relative powers must sum below 1 (bands exclude sub-delta).
+        w = rng.standard_normal((2, int(4 * FS)))
+        v = extractor.extract_window(w, FS)
+        names = list(extractor.feature_names)
+        rel = [
+            v[names.index(f"F7T3_rel_{b}_power")]
+            for b in ("delta", "theta", "alpha", "beta", "gamma")
+        ]
+        assert all(0.0 <= r <= 1.0 for r in rel)
+        assert sum(rel) <= 1.05
+
+    def test_peak_freq_of_tone(self, extractor, rng):
+        t = np.arange(int(4 * FS)) / FS
+        tone = 50 * np.sin(2 * np.pi * 21.0 * t)
+        w = np.vstack([tone, tone]) + rng.standard_normal((2, t.size))
+        v = extractor.extract_window(w, FS)
+        idx = list(extractor.feature_names).index("F8T4_peak_freq")
+        assert np.isclose(v[idx], 21.0, atol=0.5)
+
+    def test_dwt_energy_features_positive(self, extractor, rng):
+        w = rng.standard_normal((2, int(4 * FS)))
+        v = extractor.extract_window(w, FS)
+        names = list(extractor.feature_names)
+        for lvl in range(1, 8):
+            assert v[names.index(f"F7T3_dwt{lvl}_energy")] > 0.0
+
+    def test_hjorth_mobility_ordering(self, extractor, rng):
+        # High-frequency content raises mobility.
+        t = np.arange(int(4 * FS)) / FS
+        slow = np.vstack([np.sin(2 * np.pi * 2 * t)] * 2)
+        fast = np.vstack([np.sin(2 * np.pi * 40 * t)] * 2)
+        names = list(extractor.feature_names)
+        idx = names.index("F7T3_hjorth_mobility")
+        assert extractor.extract_window(fast, FS)[idx] > extractor.extract_window(
+            slow, FS
+        )[idx]

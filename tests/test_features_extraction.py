@@ -1,0 +1,69 @@
+"""Unit tests for windowed feature extraction."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import EEGRecord, SeizureAnnotation
+from repro.exceptions import FeatureError
+from repro.features.extraction import extract_features, extract_labeled_features
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.signals.windowing import WindowSpec
+
+FS = 256.0
+
+
+def record_of(duration, anns=()):
+    rng = np.random.default_rng(3)
+    data = 30.0 * rng.standard_normal((2, int(duration * FS)))
+    return EEGRecord(data=data, fs=FS, annotations=list(anns))
+
+
+class TestExtractFeatures:
+    def test_paper_geometry_one_row_per_second(self):
+        rec = record_of(63.0)
+        fm = extract_features(rec, Paper10FeatureExtractor())
+        # 63 s with 4 s windows, 1 s step -> 60 rows.
+        assert fm.n_windows == 60
+        assert fm.n_features == 10
+
+    def test_row_times(self):
+        rec = record_of(20.0)
+        fm = extract_features(rec, Paper10FeatureExtractor())
+        times = fm.window_start_times()
+        assert times[0] == 0.0 and times[1] == 1.0
+
+    def test_custom_spec(self):
+        rec = record_of(30.0)
+        fm = extract_features(rec, Paper10FeatureExtractor(), WindowSpec(4.0, 2.0))
+        assert fm.n_windows == 14
+
+    def test_record_too_short_raises(self):
+        with pytest.raises(FeatureError):
+            extract_features(record_of(2.0), Paper10FeatureExtractor())
+
+    def test_rows_match_direct_window_extraction(self):
+        rec = record_of(12.0)
+        ex = Paper10FeatureExtractor()
+        fm = extract_features(rec, ex)
+        manual = ex.extract_window(rec.data[:, 2 * 256 : 2 * 256 + 1024], FS)
+        assert np.allclose(fm.values[2], manual)
+
+
+class TestLabeledExtraction:
+    def test_labels_align_with_annotation(self):
+        rec = record_of(60.0, [SeizureAnnotation(20.0, 30.0)])
+        fm, labels = extract_labeled_features(rec, Paper10FeatureExtractor())
+        assert labels.size == fm.n_windows
+        assert labels[22] == 1  # window [22, 26) fully ictal
+        assert labels[5] == 0
+
+    def test_no_annotation_all_negative(self):
+        rec = record_of(30.0)
+        _, labels = extract_labeled_features(rec, Paper10FeatureExtractor())
+        assert labels.sum() == 0
+
+    def test_trimming_consistency(self):
+        # Non-integral durations must not desynchronize rows and labels.
+        rec = record_of(30.7, [SeizureAnnotation(10.0, 15.0)])
+        fm, labels = extract_labeled_features(rec, Paper10FeatureExtractor())
+        assert fm.n_windows == labels.size

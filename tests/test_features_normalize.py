@@ -1,0 +1,62 @@
+"""Unit tests for feature normalization (Algorithm 1 Line 1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.normalize import ZScoreScaler, zscore
+
+
+class TestZscore:
+    def test_zero_mean_unit_std(self, rng):
+        x = rng.standard_normal((100, 5)) * 7 + 3
+        z = zscore(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+        assert np.allclose(z.std(axis=0), 1.0, atol=1e-10)
+
+    def test_constant_column_maps_to_zero(self, rng):
+        x = rng.standard_normal((50, 3))
+        x[:, 1] = 4.2
+        z = zscore(x)
+        assert np.all(z[:, 1] == 0.0)
+        assert np.all(np.isfinite(z))
+
+    def test_1d_raises(self, rng):
+        with pytest.raises(FeatureError):
+            zscore(rng.standard_normal(10))
+
+
+class TestScaler:
+    def test_fit_transform_roundtrip(self, rng):
+        x = rng.standard_normal((80, 4)) * 3 + 1
+        scaler = ZScoreScaler()
+        z = scaler.fit_transform(x)
+        assert np.allclose(z.mean(axis=0), 0.0, atol=1e-10)
+
+    def test_transform_uses_train_statistics(self, rng):
+        train = rng.standard_normal((100, 2)) + 10.0
+        test = rng.standard_normal((50, 2)) + 10.0
+        scaler = ZScoreScaler().fit(train)
+        z = scaler.transform(test)
+        # Test mean is near zero only because train stats match.
+        assert np.abs(z.mean(axis=0)).max() < 0.5
+
+    def test_unfitted_raises(self, rng):
+        with pytest.raises(FeatureError):
+            ZScoreScaler().transform(rng.standard_normal((5, 2)))
+
+    def test_width_mismatch_raises(self, rng):
+        scaler = ZScoreScaler().fit(rng.standard_normal((10, 3)))
+        with pytest.raises(FeatureError):
+            scaler.transform(rng.standard_normal((5, 4)))
+
+    def test_single_row_fit_raises(self, rng):
+        with pytest.raises(FeatureError):
+            ZScoreScaler().fit(rng.standard_normal((1, 3)))
+
+    def test_constant_train_column(self, rng):
+        train = rng.standard_normal((20, 2))
+        train[:, 0] = 5.0
+        scaler = ZScoreScaler().fit(train)
+        z = scaler.transform(train)
+        assert np.all(z[:, 0] == 0.0)

@@ -1,0 +1,90 @@
+"""Unit tests for the paper's 10 selected features."""
+
+import numpy as np
+import pytest
+
+from repro.data.seizures import SeizureMorphology, generate_ictal
+from repro.features.paper10 import PAPER10_FEATURE_NAMES, Paper10FeatureExtractor
+
+FS = 256.0
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return Paper10FeatureExtractor()
+
+
+def window(rng, kind="noise"):
+    n = int(4 * FS)
+    if kind == "noise":
+        return rng.standard_normal((2, n)) * 30.0
+    if kind == "theta":
+        t = np.arange(n) / FS
+        tone = 80.0 * np.sin(2 * np.pi * 6.0 * t)
+        return np.vstack([tone, tone]) + rng.standard_normal((2, n)) * 5.0
+    raise ValueError(kind)
+
+
+class TestDefinition:
+    def test_ten_features(self, extractor):
+        assert extractor.n_features == 10
+        assert extractor.feature_names == PAPER10_FEATURE_NAMES
+
+    def test_channel_attribution(self):
+        # 3 features from F7T3, 7 from F8T4, per Sec. III-A.
+        f7 = [n for n in PAPER10_FEATURE_NAMES if n.startswith("F7T3")]
+        f8 = [n for n in PAPER10_FEATURE_NAMES if n.startswith("F8T4")]
+        assert len(f7) == 3 and len(f8) == 7
+
+
+class TestValues:
+    def test_output_shape_and_finiteness(self, extractor, rng):
+        values = extractor.extract_window(window(rng), FS)
+        assert values.shape == (10,)
+        assert np.all(np.isfinite(values))
+
+    def test_theta_tone_dominates_theta_features(self, extractor, rng):
+        noise = extractor.extract_window(window(rng, "noise"), FS)
+        theta = extractor.extract_window(window(rng, "theta"), FS)
+        names = list(PAPER10_FEATURE_NAMES)
+        for feat in ("F7T3_theta_power", "F7T3_rel_theta_power", "F8T4_rel_theta_power"):
+            idx = names.index(feat)
+            assert theta[idx] > noise[idx]
+
+    def test_relative_powers_bounded(self, extractor, rng):
+        values = extractor.extract_window(window(rng), FS)
+        names = list(PAPER10_FEATURE_NAMES)
+        for feat in ("F7T3_rel_theta_power", "F8T4_rel_theta_power"):
+            v = values[names.index(feat)]
+            assert 0.0 <= v <= 1.0
+
+    def test_entropy_features_in_unit_range(self, extractor, rng):
+        values = extractor.extract_window(window(rng), FS)
+        names = list(PAPER10_FEATURE_NAMES)
+        for feat in (
+            "F8T4_perm_entropy_L7_n5",
+            "F8T4_perm_entropy_L7_n7",
+            "F8T4_perm_entropy_L6_n7",
+        ):
+            v = values[names.index(feat)]
+            assert 0.0 <= v <= 1.0
+
+    def test_ictal_window_separates_from_background(self, extractor, rng):
+        bg = rng.standard_normal((2, int(4 * FS))) * 30.0
+        ict = generate_ictal(4.0, FS, SeizureMorphology(buildup_fraction=0.05), 30.0, rng)
+        v_bg = extractor.extract_window(bg, FS)
+        v_ict = extractor.extract_window(bg + ict, FS)
+        names = list(PAPER10_FEATURE_NAMES)
+        theta_idx = names.index("F7T3_theta_power")
+        assert v_ict[theta_idx] > 2 * v_bg[theta_idx]
+
+    def test_deterministic(self, extractor, rng):
+        w = window(rng)
+        a = extractor.extract_window(w, FS)
+        b = extractor.extract_window(w, FS)
+        assert np.array_equal(a, b)
+
+    def test_extra_channels_ignored(self, extractor, rng):
+        w3 = np.vstack([window(rng), rng.standard_normal((1, int(4 * FS)))])
+        values = extractor.extract_window(w3, FS)
+        assert values.shape == (10,)

@@ -1,0 +1,104 @@
+"""Unit tests for backward elimination."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import FeatureError
+from repro.features.selection import (
+    backward_elimination,
+    fisher_mean_score,
+    fisher_ratio,
+    nearest_centroid_score,
+)
+
+
+def make_data(rng, n=200, informative=2, noise=4):
+    """Binary data where the first `informative` columns separate classes."""
+    labels = np.repeat([0, 1], n // 2)
+    x = rng.standard_normal((n, informative + noise))
+    for j in range(informative):
+        x[labels == 1, j] += 3.0
+    return x, labels
+
+
+class TestFisher:
+    def test_informative_features_score_higher(self, rng):
+        x, y = make_data(rng)
+        ratios = fisher_ratio(x, y)
+        assert ratios[:2].min() > 5 * ratios[2:].max()
+
+    def test_zero_variance_feature_scores_zero(self, rng):
+        x, y = make_data(rng)
+        x[:, 3] = 1.0
+        assert fisher_ratio(x, y)[3] == 0.0
+
+    def test_single_class_raises(self, rng):
+        x = rng.standard_normal((10, 3))
+        with pytest.raises(FeatureError):
+            fisher_ratio(x, np.zeros(10, dtype=int))
+
+    def test_three_classes_raise(self, rng):
+        x = rng.standard_normal((12, 3))
+        y = np.repeat([0, 1, 2], 4)
+        with pytest.raises(FeatureError):
+            fisher_ratio(x, y)
+
+
+class TestNearestCentroid:
+    def test_separable_data_high_score(self, rng):
+        x, y = make_data(rng)
+        assert nearest_centroid_score(x, y) > 0.9
+
+    def test_pure_noise_near_chance(self, rng):
+        x = rng.standard_normal((300, 4))
+        y = np.repeat([0, 1], 150)
+        score = nearest_centroid_score(x, y)
+        assert 0.3 < score < 0.7
+
+    def test_too_few_samples_raise(self, rng):
+        with pytest.raises(FeatureError):
+            nearest_centroid_score(rng.standard_normal((4, 2)), np.array([0, 1, 0, 1]))
+
+
+class TestBackwardElimination:
+    def test_informative_features_ranked_first(self, rng):
+        x, y = make_data(rng, informative=3, noise=5)
+        result = backward_elimination(x, y)
+        assert set(result.top(3)) == {0, 1, 2}
+
+    def test_ranking_is_permutation(self, rng):
+        x, y = make_data(rng)
+        result = backward_elimination(x, y)
+        assert sorted(result.ranking) == list(range(x.shape[1]))
+
+    def test_scores_by_size_keys(self, rng):
+        x, y = make_data(rng, informative=2, noise=2)
+        result = backward_elimination(x, y)
+        assert set(result.scores_by_size) == {1, 2, 3, 4}
+
+    def test_min_features_stops_early(self, rng):
+        x, y = make_data(rng, informative=2, noise=4)
+        result = backward_elimination(x, y, min_features=3)
+        assert 2 not in result.scores_by_size
+
+    def test_cv_scorer_also_works(self, rng):
+        x, y = make_data(rng, informative=2, noise=3)
+        result = backward_elimination(x, y, scorer=nearest_centroid_score)
+        assert set(result.top(2)) == {0, 1}
+
+    def test_top_bounds_validated(self, rng):
+        x, y = make_data(rng)
+        result = backward_elimination(x, y)
+        with pytest.raises(FeatureError):
+            result.top(0)
+        with pytest.raises(FeatureError):
+            result.top(99)
+
+    def test_name_length_mismatch_raises(self, rng):
+        x, y = make_data(rng)
+        with pytest.raises(FeatureError):
+            backward_elimination(x, y, feature_names=["a"])
+
+    def test_fisher_mean_score_scalar(self, rng):
+        x, y = make_data(rng)
+        assert isinstance(fisher_mean_score(x, y), float)

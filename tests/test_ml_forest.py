@@ -1,0 +1,103 @@
+"""Unit tests for the random forest."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.forest import RandomForestClassifier
+
+
+def blobs(rng, n=300, sep=3.0, f=6):
+    y = np.repeat([0, 1], n // 2)
+    x = rng.standard_normal((n, f))
+    x[y == 1, :2] += sep
+    return x, y
+
+
+class TestAccuracy:
+    def test_separable_data(self, rng):
+        x, y = blobs(rng)
+        rf = RandomForestClassifier(n_estimators=15, random_state=0).fit(x, y)
+        xt, yt = blobs(rng)
+        assert np.mean(rf.predict(xt) == yt) > 0.95
+
+    def test_beats_single_shallow_tree_on_noisy_data(self, rng):
+        x, y = blobs(rng, sep=1.2)
+        xt, yt = blobs(rng, sep=1.2)
+        from repro.ml.tree import DecisionTreeClassifier
+
+        tree = DecisionTreeClassifier(max_depth=None, max_features="sqrt", random_state=0).fit(x, y)
+        rf = RandomForestClassifier(n_estimators=25, max_depth=None, random_state=0).fit(x, y)
+        acc_tree = np.mean(tree.predict(xt) == yt)
+        acc_rf = np.mean(rf.predict(xt) == yt)
+        assert acc_rf >= acc_tree - 0.02  # ensemble no worse, usually better
+
+
+class TestProbabilities:
+    def test_rows_sum_to_one(self, rng):
+        x, y = blobs(rng)
+        rf = RandomForestClassifier(n_estimators=8, random_state=1).fit(x, y)
+        proba = rf.predict_proba(x[:20])
+        assert np.allclose(proba.sum(axis=1), 1.0)
+        assert proba.shape == (20, 2)
+
+    def test_confident_far_from_boundary(self, rng):
+        x, y = blobs(rng, sep=6.0)
+        rf = RandomForestClassifier(n_estimators=10, random_state=2).fit(x, y)
+        proba = rf.predict_proba(x)
+        conf = np.max(proba, axis=1)
+        assert conf.mean() > 0.9
+
+
+class TestDeterminismAndDiversity:
+    def test_same_seed_reproducible(self, rng):
+        x, y = blobs(rng)
+        a = RandomForestClassifier(n_estimators=5, random_state=9).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=9).fit(x, y)
+        assert np.array_equal(a.predict_proba(x), b.predict_proba(x))
+
+    def test_different_seeds_differ(self, rng):
+        x, y = blobs(rng, sep=1.0)
+        a = RandomForestClassifier(n_estimators=5, random_state=0).fit(x, y)
+        b = RandomForestClassifier(n_estimators=5, random_state=1).fit(x, y)
+        assert not np.array_equal(a.predict_proba(x), b.predict_proba(x))
+
+    def test_trees_are_diverse(self, rng):
+        x, y = blobs(rng, sep=0.8)
+        rf = RandomForestClassifier(n_estimators=5, random_state=0).fit(x, y)
+        preds = [t.predict(x) for t in rf.trees_]
+        assert any(not np.array_equal(preds[0], p) for p in preds[1:])
+
+
+class TestBalancedMode:
+    def test_balanced_helps_minority_recall(self, rng):
+        # 95/5 imbalance.
+        x = rng.standard_normal((400, 4))
+        y = np.zeros(400, dtype=int)
+        y[:20] = 1
+        x[y == 1, 0] += 2.0
+        plain = RandomForestClassifier(n_estimators=15, random_state=0).fit(x, y)
+        balanced = RandomForestClassifier(
+            n_estimators=15, class_weight="balanced", random_state=0
+        ).fit(x, y)
+        recall_plain = np.mean(plain.predict(x[y == 1]) == 1)
+        recall_bal = np.mean(balanced.predict(x[y == 1]) == 1)
+        assert recall_bal >= recall_plain
+
+    def test_invalid_class_weight_raises(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier(class_weight="auto")
+
+
+class TestValidation:
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(ModelError):
+            RandomForestClassifier().predict(rng.standard_normal((3, 2)))
+
+    def test_single_class_raises(self, rng):
+        with pytest.raises(ModelError):
+            RandomForestClassifier().fit(rng.standard_normal((10, 2)), np.zeros(10))
+
+    def test_zero_estimators_raises(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier(n_estimators=0)

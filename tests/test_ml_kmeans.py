@@ -1,0 +1,96 @@
+"""Unit tests for the clustering baselines."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.kmeans import KMeans, KMedoids, cluster_seizure_labels
+
+
+def two_blobs(rng, n=200, sep=6.0):
+    x = rng.standard_normal((n, 2))
+    x[n // 2 :] += sep
+    return x
+
+
+class TestKMeans:
+    def test_recovers_two_blobs(self, rng):
+        x = two_blobs(rng)
+        labels = KMeans(n_clusters=2, random_state=0).fit_predict(x)
+        # All of each half in one cluster.
+        first = labels[: len(x) // 2]
+        second = labels[len(x) // 2 :]
+        assert np.all(first == first[0])
+        assert np.all(second == second[0])
+        assert first[0] != second[0]
+
+    def test_inertia_decreases_with_k(self, rng):
+        x = two_blobs(rng)
+        i1 = KMeans(n_clusters=1, random_state=0).fit(x).inertia_
+        i2 = KMeans(n_clusters=2, random_state=0).fit(x).inertia_
+        assert i2 < i1
+
+    def test_centers_shape(self, rng):
+        km = KMeans(n_clusters=3, random_state=0).fit(rng.standard_normal((60, 4)))
+        assert km.centers_.shape == (3, 4)
+
+    def test_deterministic_under_seed(self, rng):
+        x = two_blobs(rng)
+        a = KMeans(n_clusters=2, random_state=5).fit_predict(x)
+        b = KMeans(n_clusters=2, random_state=5).fit_predict(x)
+        assert np.array_equal(a, b)
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(ModelError):
+            KMeans().predict(rng.standard_normal((5, 2)))
+
+    def test_more_clusters_than_points_raises(self, rng):
+        with pytest.raises(ModelError):
+            KMeans(n_clusters=10).fit(rng.standard_normal((3, 2)))
+
+    def test_nan_raises(self, rng):
+        x = rng.standard_normal((20, 2))
+        x[0, 0] = np.nan
+        with pytest.raises(ModelError):
+            KMeans().fit(x)
+
+
+class TestKMedoids:
+    def test_recovers_two_blobs(self, rng):
+        x = two_blobs(rng, n=120)
+        labels = KMedoids(n_clusters=2, random_state=0).fit_predict(x)
+        first = labels[:60]
+        second = labels[60:]
+        assert np.all(first == first[0]) and np.all(second == second[0])
+        assert first[0] != second[0]
+
+    def test_medoids_are_data_points(self, rng):
+        x = two_blobs(rng, n=80)
+        km = KMedoids(n_clusters=2, random_state=0).fit(x)
+        for m in km.medoids_:
+            assert any(np.array_equal(m, row) for row in x)
+
+    def test_robust_to_outlier(self, rng):
+        x = two_blobs(rng, n=100)
+        x = np.vstack([x, [1e6, 1e6]])
+        km = KMedoids(n_clusters=2, random_state=0).fit(x)
+        # Medoids stay inside the blobs, not at the outlier.
+        assert np.abs(km.medoids_).max() < 100
+
+    def test_predict_before_fit_raises(self, rng):
+        with pytest.raises(ModelError):
+            KMedoids().predict(rng.standard_normal((5, 2)))
+
+
+class TestClusterLabels:
+    def test_minority_cluster_is_seizure(self):
+        assign = np.array([0] * 90 + [1] * 10)
+        labels = cluster_seizure_labels(assign)
+        assert labels.sum() == 10
+        assert np.all(labels[-10:] == 1)
+
+    def test_flipped_assignment(self):
+        assign = np.array([1] * 90 + [0] * 10)
+        labels = cluster_seizure_labels(assign)
+        assert labels.sum() == 10
+        assert np.all(labels[-10:] == 1)

@@ -1,0 +1,87 @@
+"""Unit tests for classification metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.metrics import (
+    accuracy,
+    classification_report,
+    confusion_counts,
+    f1_score,
+    geometric_mean_score,
+    precision,
+    sensitivity,
+    specificity,
+)
+
+Y_TRUE = np.array([1, 1, 1, 1, 0, 0, 0, 0, 0, 0])
+Y_PRED = np.array([1, 1, 1, 0, 0, 0, 0, 0, 1, 1])
+
+
+class TestCounts:
+    def test_confusion_counts(self):
+        tp, fp, tn, fn = confusion_counts(Y_TRUE, Y_PRED)
+        assert (tp, fp, tn, fn) == (3, 2, 4, 1)
+
+    def test_perfect_prediction(self):
+        tp, fp, tn, fn = confusion_counts(Y_TRUE, Y_TRUE)
+        assert fp == fn == 0
+
+
+class TestRates:
+    def test_sensitivity(self):
+        assert np.isclose(sensitivity(Y_TRUE, Y_PRED), 3 / 4)
+
+    def test_specificity(self):
+        assert np.isclose(specificity(Y_TRUE, Y_PRED), 4 / 6)
+
+    def test_accuracy(self):
+        assert np.isclose(accuracy(Y_TRUE, Y_PRED), 7 / 10)
+
+    def test_precision(self):
+        assert np.isclose(precision(Y_TRUE, Y_PRED), 3 / 5)
+
+    def test_f1(self):
+        p, r = 3 / 5, 3 / 4
+        assert np.isclose(f1_score(Y_TRUE, Y_PRED), 2 * p * r / (p + r))
+
+    def test_geometric_mean(self):
+        assert np.isclose(
+            geometric_mean_score(Y_TRUE, Y_PRED), np.sqrt((3 / 4) * (4 / 6))
+        )
+
+    def test_no_positives_sensitivity_zero(self):
+        y = np.zeros(5, dtype=int)
+        assert sensitivity(y, y) == 0.0
+
+    def test_no_negatives_specificity_zero(self):
+        y = np.ones(5, dtype=int)
+        assert specificity(y, y) == 0.0
+
+
+class TestReport:
+    def test_bundles_all_metrics(self):
+        rep = classification_report(Y_TRUE, Y_PRED)
+        assert np.isclose(rep.sensitivity, 0.75)
+        assert np.isclose(rep.specificity, 4 / 6)
+        assert np.isclose(rep.geometric_mean, np.sqrt(0.75 * 4 / 6))
+        assert rep.tp == 3 and rep.fn == 1
+
+    def test_as_dict_keys(self):
+        d = classification_report(Y_TRUE, Y_PRED).as_dict()
+        assert set(d) == {"sensitivity", "specificity", "geometric_mean", "accuracy"}
+
+
+class TestValidation:
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            sensitivity(np.array([1, 0]), np.array([1]))
+
+    def test_non_binary_raises(self):
+        with pytest.raises(ModelError):
+            sensitivity(np.array([0, 2]), np.array([0, 1]))
+
+    def test_empty_raises(self):
+        with pytest.raises(ModelError):
+            accuracy(np.array([]), np.array([]))

@@ -1,0 +1,76 @@
+"""Unit tests for ROC analysis."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.roc import auc, best_gmean_threshold, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        y = np.array([0, 0, 0, 1, 1, 1])
+        s = np.array([0.1, 0.2, 0.3, 0.7, 0.8, 0.9])
+        curve = roc_curve(y, s)
+        assert np.isclose(auc(curve), 1.0)
+
+    def test_random_scores_half_auc(self, rng):
+        y = rng.integers(0, 2, 5000)
+        while y.sum() in (0, y.size):
+            y = rng.integers(0, 2, 5000)
+        s = rng.uniform(0, 1, 5000)
+        assert abs(auc(roc_curve(y, s)) - 0.5) < 0.05
+
+    def test_inverted_scores_zero_auc(self):
+        y = np.array([0, 0, 1, 1])
+        s = np.array([0.9, 0.8, 0.2, 0.1])
+        assert np.isclose(auc(roc_curve(y, s)), 0.0)
+
+    def test_curve_monotone(self, rng):
+        y = np.array([0, 1] * 50)
+        s = rng.uniform(0, 1, 100)
+        curve = roc_curve(y, s)
+        assert np.all(np.diff(curve.fpr) >= 0)
+        assert np.all(np.diff(curve.tpr) >= 0)
+
+    def test_endpoints(self, rng):
+        y = np.array([0, 1] * 20)
+        s = rng.uniform(0, 1, 40)
+        curve = roc_curve(y, s)
+        assert curve.fpr[0] == 0.0 and curve.tpr[0] == 0.0
+        assert curve.fpr[-1] == 1.0 and curve.tpr[-1] == 1.0
+
+    def test_tied_scores_collapse(self):
+        y = np.array([0, 1, 0, 1])
+        s = np.array([0.5, 0.5, 0.5, 0.5])
+        curve = roc_curve(y, s)
+        # Only (0,0) and (1,1).
+        assert curve.fpr.size == 2
+
+    def test_single_class_raises(self):
+        with pytest.raises(ModelError):
+            roc_curve(np.zeros(5, dtype=int), np.random.rand(5))
+
+    def test_nan_scores_raise(self):
+        with pytest.raises(ModelError):
+            roc_curve(np.array([0, 1]), np.array([np.nan, 0.5]))
+
+
+class TestBestThreshold:
+    def test_separable_case(self):
+        y = np.array([0] * 50 + [1] * 50)
+        s = np.concatenate([np.linspace(0, 0.4, 50), np.linspace(0.6, 1, 50)])
+        thr, gmean = best_gmean_threshold(y, s)
+        assert 0.4 < thr <= 0.6
+        assert np.isclose(gmean, 1.0)
+
+    def test_threshold_reproduces_gmean(self, rng):
+        y = rng.integers(0, 2, 300)
+        while y.sum() in (0, y.size):
+            y = rng.integers(0, 2, 300)
+        s = 0.3 * rng.standard_normal(300) + 0.4 * y
+        thr, gmean = best_gmean_threshold(y, s)
+        pred = (s >= thr).astype(int)
+        from repro.ml.metrics import geometric_mean_score
+
+        assert np.isclose(geometric_mean_score(y, pred), gmean, atol=1e-9)

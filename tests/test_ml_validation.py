@@ -1,0 +1,123 @@
+"""Unit tests for the Sec. VI-B training-set construction."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import EEGRecord, SeizureAnnotation
+from repro.exceptions import ModelError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.ml.validation import (
+    TrainingSet,
+    build_balanced_training_set,
+    leave_one_seizure_out,
+    train_test_split,
+)
+
+FS = 256.0
+
+
+def seizure_record(onset=30.0, dur=20.0, total=120.0, source="expert"):
+    rng = np.random.default_rng(int(onset))
+    data = 30.0 * rng.standard_normal((2, int(total * FS)))
+    data[:, int(onset * FS) : int((onset + dur) * FS)] *= 3.0
+    return EEGRecord(
+        data=data,
+        fs=FS,
+        annotations=[SeizureAnnotation(onset, onset + dur, source=source)],
+    )
+
+
+def free_record(total=120.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return EEGRecord(data=30.0 * rng.standard_normal((2, int(total * FS))), fs=FS)
+
+
+class TestTrainingSet:
+    def test_balance_property(self):
+        ts = TrainingSet(
+            values=np.zeros((10, 3)),
+            labels=np.array([1] * 4 + [0] * 6),
+            feature_names=("a", "b", "c"),
+        )
+        assert ts.n_positive == 4
+        assert np.isclose(ts.balance, 0.4)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ModelError):
+            TrainingSet(np.zeros((5, 2)), np.zeros(4), ("a", "b"))
+
+    def test_merge(self):
+        a = TrainingSet(np.zeros((3, 2)), np.zeros(3), ("a", "b"))
+        b = TrainingSet(np.ones((2, 2)), np.ones(2), ("a", "b"))
+        merged = a.merged_with(b)
+        assert merged.n_windows == 5
+
+    def test_merge_incompatible_raises(self):
+        a = TrainingSet(np.zeros((3, 2)), np.zeros(3), ("a", "b"))
+        b = TrainingSet(np.zeros((3, 2)), np.zeros(3), ("x", "y"))
+        with pytest.raises(ModelError):
+            a.merged_with(b)
+
+
+class TestBuildBalanced:
+    def test_balanced_output(self):
+        ts = build_balanced_training_set(
+            [seizure_record()], [free_record()], Paper10FeatureExtractor()
+        )
+        assert np.isclose(ts.balance, 0.5)
+        assert ts.n_windows > 10
+
+    def test_label_source_filter(self):
+        rec = seizure_record(source="algorithm")
+        ts = build_balanced_training_set(
+            [rec], [free_record()], Paper10FeatureExtractor(),
+            label_source="algorithm",
+        )
+        assert ts.n_positive > 0
+        with pytest.raises(ModelError):
+            build_balanced_training_set(
+                [rec], [free_record()], Paper10FeatureExtractor(),
+                label_source="expert",
+            )
+
+    def test_deterministic_under_seed(self):
+        args = ([seizure_record()], [free_record()], Paper10FeatureExtractor())
+        a = build_balanced_training_set(*args, seed=4)
+        b = build_balanced_training_set(*args, seed=4)
+        assert np.array_equal(a.values, b.values)
+
+    def test_no_records_raises(self):
+        with pytest.raises(ModelError):
+            build_balanced_training_set([], [], Paper10FeatureExtractor())
+
+
+class TestSplit:
+    def test_stratified_fractions(self, rng):
+        x = rng.standard_normal((100, 3))
+        y = np.repeat([0, 1], 50)
+        xtr, xte, ytr, yte = train_test_split(x, y, test_fraction=0.2, seed=0)
+        assert xte.shape[0] == 20
+        assert yte.sum() == 10  # stratified
+
+    def test_no_overlap(self, rng):
+        x = np.arange(50, dtype=float).reshape(-1, 1)
+        y = np.repeat([0, 1], 25)
+        xtr, xte, _, _ = train_test_split(x, y, 0.3, seed=1)
+        assert set(xtr.ravel()) & set(xte.ravel()) == set()
+        assert xtr.shape[0] + xte.shape[0] == 50
+
+    def test_invalid_fraction_raises(self, rng):
+        with pytest.raises(ModelError):
+            train_test_split(rng.standard_normal((10, 2)), np.zeros(10), 1.5)
+
+
+class TestLeaveOneSeizureOut:
+    def test_enumeration(self):
+        folds = list(leave_one_seizure_out(4))
+        assert len(folds) == 4
+        train, test = folds[2]
+        assert test == 2 and train == [0, 1, 3]
+
+    def test_too_few_raises(self):
+        with pytest.raises(ModelError):
+            list(leave_one_seizure_out(1))

@@ -1,0 +1,198 @@
+"""Unit tests for the wearable-platform models (MCU, power, battery,
+memory, runtime) — these encode the Table III / Fig. 5 / Sec. VI-C math."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PlatformError
+from repro.platform.battery import (
+    DETECTION_DUTY,
+    WearablePlatform,
+    labeling_duty_cycle,
+)
+from repro.platform.mcu import (
+    ADS1299,
+    PAPER_BATTERY,
+    STM32L151,
+    AnalogFrontEnd,
+    Battery,
+    Microcontroller,
+)
+from repro.platform.memory import MemoryBudget, feature_buffer_bytes, raw_buffer_bytes
+from repro.platform.power import PowerBudget, Task
+from repro.platform.runtime import RuntimeModel, operation_count
+
+
+class TestProfiles:
+    def test_stm32_profile(self):
+        assert STM32L151.max_freq_hz == 32e6
+        assert STM32L151.ram_bytes == 48 * 1024
+        assert STM32L151.flash_bytes == 384 * 1024
+
+    def test_battery_lifetime(self):
+        assert np.isclose(PAPER_BATTERY.lifetime_hours(10.0), 57.0)
+
+    def test_battery_zero_current_raises(self):
+        with pytest.raises(PlatformError):
+            PAPER_BATTERY.lifetime_hours(0.0)
+
+    def test_invalid_mcu_raises(self):
+        with pytest.raises(PlatformError):
+            Microcontroller("x", 1e6, 1024, 1024, active_current_ma=1.0, idle_current_ma=2.0)
+
+    def test_invalid_afe_raises(self):
+        with pytest.raises(PlatformError):
+            AnalogFrontEnd("x", current_per_channel_ma=0.0, adc_bits=24, max_sample_rate_hz=1e3)
+
+    def test_invalid_battery_raises(self):
+        with pytest.raises(PlatformError):
+            Battery(capacity_mah=-1.0)
+
+
+class TestTaskAndBudget:
+    def test_average_current(self):
+        assert Task("t", 10.0, 0.5).average_current_ma == 5.0
+
+    def test_invalid_duty_raises(self):
+        with pytest.raises(PlatformError):
+            Task("t", 1.0, 1.5)
+
+    def test_energy_shares_sum_to_one(self):
+        budget = PowerBudget(
+            tasks=(Task("a", 1.0, 1.0), Task("b", 2.0, 0.5)),
+        )
+        shares = budget.energy_shares()
+        assert np.isclose(sum(shares.values()), 1.0)
+
+    def test_cpu_exclusive_over_100_raises(self):
+        with pytest.raises(PlatformError):
+            PowerBudget(
+                tasks=(Task("a", 1.0, 0.8), Task("b", 1.0, 0.5)),
+                cpu_exclusive=("a", "b"),
+            )
+
+    def test_duplicate_names_raise(self):
+        with pytest.raises(PlatformError):
+            PowerBudget(tasks=(Task("a", 1.0, 0.1), Task("a", 1.0, 0.1)))
+
+    def test_unknown_exclusive_name_raises(self):
+        with pytest.raises(PlatformError):
+            PowerBudget(tasks=(Task("a", 1.0, 0.1),), cpu_exclusive=("zz",))
+
+    def test_task_lookup(self):
+        budget = PowerBudget(tasks=(Task("a", 1.0, 0.5),))
+        assert budget.task("a").current_ma == 1.0
+        with pytest.raises(PlatformError):
+            budget.task("b")
+
+
+class TestDutyCycles:
+    def test_one_seizure_per_day(self):
+        assert np.isclose(labeling_duty_cycle(1.0), 1 / 24, atol=1e-9)
+
+    def test_one_seizure_per_month(self):
+        assert np.isclose(labeling_duty_cycle(1 / 30), 0.00139, atol=1e-4)
+
+    def test_negative_raises(self):
+        with pytest.raises(PlatformError):
+            labeling_duty_cycle(-1.0)
+
+    def test_detection_duty_is_75_percent(self):
+        assert DETECTION_DUTY == 0.75
+
+
+class TestTableIII:
+    """The paper's Table III numbers, reproduced exactly."""
+
+    def test_full_system_lifetime_2_59_days(self):
+        platform = WearablePlatform()
+        est = platform.lifetime(platform.full_system_budget(1.0))
+        assert np.isclose(est.days, 2.59, atol=0.01)
+
+    def test_detection_only_2_71_days(self):
+        platform = WearablePlatform()
+        est = platform.lifetime(platform.detection_only_budget())
+        assert np.isclose(est.hours, 65.15, atol=0.1)
+        assert np.isclose(est.days, 2.71, atol=0.01)
+
+    def test_labeling_only_range(self):
+        platform = WearablePlatform()
+        low = platform.lifetime(platform.labeling_only_budget(1 / 30))
+        high = platform.lifetime(platform.labeling_only_budget(1.0))
+        assert np.isclose(low.hours, 631.46, atol=1.0)
+        assert np.isclose(high.hours, 430.16, atol=1.0)
+
+    def test_energy_shares_match_fig5(self):
+        platform = WearablePlatform()
+        shares = platform.full_system_budget(1.0).energy_shares()
+        assert np.isclose(shares["EEG Acquisition (x2)"], 0.0947, atol=0.001)
+        assert np.isclose(shares["EEG Sup. Detection"], 0.8572, atol=0.001)
+        assert np.isclose(shares["EEG Labeling"], 0.0477, atol=0.001)
+        assert shares["Idle"] < 0.001
+
+    def test_table_rows_structure(self):
+        rows = WearablePlatform().full_system_budget(1.0).table_rows()
+        assert [r["task"] for r in rows] == [
+            "EEG Acquisition (x2)",
+            "EEG Sup. Detection",
+            "EEG Labeling",
+            "Idle",
+        ]
+
+    def test_lifetime_sweep_monotone(self):
+        platform = WearablePlatform()
+        sweep = platform.lifetime_sweep((1 / 30, 0.5, 1.0))
+        hours = [est.hours for est in sweep.values()]
+        assert hours == sorted(hours, reverse=True)
+
+    def test_too_many_seizures_raises(self):
+        with pytest.raises(PlatformError):
+            WearablePlatform().full_system_budget(seizures_per_day=10.0)
+
+
+class TestMemory:
+    def test_raw_hour_is_3_6_mb(self):
+        assert raw_buffer_bytes(3600.0) == 2 * 3600 * 256 * 2
+
+    def test_feature_hour_is_144_kb(self):
+        assert feature_buffer_bytes(3600.0) == 3600 * 10 * 4
+
+    def test_hourly_report_flags_discrepancy(self):
+        report = MemoryBudget().hourly_report()
+        assert report["raw_hour_kb"] > report["paper_claimed_kb"]
+        assert report["feature_hour_kb"] < report["paper_claimed_kb"]
+        assert np.isclose(report["feature_hour_with_overhead_kb"], 234.4, atol=1.0)
+
+    def test_fits_checks(self):
+        budget = MemoryBudget()
+        assert budget.fits_flash(feature_buffer_bytes(3600.0))
+        assert not budget.fits_ram(raw_buffer_bytes(3600.0))
+
+    def test_invalid_params_raise(self):
+        with pytest.raises(PlatformError):
+            raw_buffer_bytes(-1.0)
+        with pytest.raises(PlatformError):
+            feature_buffer_bytes(10.0, n_features=0)
+
+
+class TestRuntime:
+    def test_operation_count_scaling(self):
+        # Quadratic in (L - W), linear in W and F.
+        base = operation_count(1000, 60, 10)
+        assert np.isclose(operation_count(2000, 60, 10) / base, 4.0, rtol=0.15)
+        ratio_w = operation_count(1000, 120, 10) / base
+        assert np.isclose(ratio_w, 2.0 * (880 / 940) ** 2, rtol=0.01)
+        assert np.isclose(operation_count(1000, 60, 20) / base, 2.0, rtol=1e-9)
+
+    def test_realtime_claim_holds_for_paper_geometry(self):
+        # One hour of signal, W ~ 60, F = 10 on the 32 MHz M3: the paper
+        # claims ~1 s of processing per second of signal.
+        model = RuntimeModel()
+        factor = model.realtime_factor(3600.0, 60, 10)
+        assert 0.05 < factor < 5.0
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(PlatformError):
+            operation_count(10, 20, 5)
+        with pytest.raises(PlatformError):
+            RuntimeModel(cycles_per_op=0.0)

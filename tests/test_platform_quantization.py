@@ -1,0 +1,78 @@
+"""Unit tests for the fixed-point quantization model."""
+
+import numpy as np
+import pytest
+
+from repro.core import a_posteriori_fast
+from repro.exceptions import PlatformError
+from repro.platform.quantization import (
+    Q4_11,
+    QFormat,
+    dequantize,
+    quantization_rms_error,
+    quantize,
+)
+
+
+class TestQFormat:
+    def test_q4_11_geometry(self):
+        assert Q4_11.total_bits == 16
+        assert Q4_11.scale == 2.0**-11
+        assert Q4_11.max_value < 16.0
+        assert Q4_11.min_value == -16.0
+
+    @pytest.mark.parametrize("ib,fb", [(-1, 4), (40, 4), (0, 0)])
+    def test_invalid_formats_raise(self, ib, fb):
+        with pytest.raises(PlatformError):
+            QFormat(ib, fb)
+
+
+class TestRoundTrip:
+    def test_error_bounded_by_half_lsb(self, rng):
+        x = rng.uniform(-10, 10, 1000)
+        back = dequantize(quantize(x, Q4_11), Q4_11)
+        assert np.max(np.abs(back - x)) <= Q4_11.scale / 2 + 1e-12
+
+    def test_saturation(self):
+        x = np.array([100.0, -100.0])
+        back = dequantize(quantize(x, Q4_11), Q4_11)
+        assert back[0] == pytest.approx(Q4_11.max_value)
+        assert back[1] == pytest.approx(Q4_11.min_value)
+
+    def test_rms_error_decreases_with_bits(self, rng):
+        x = rng.standard_normal(5000)
+        coarse = quantization_rms_error(x, QFormat(4, 3))
+        fine = quantization_rms_error(x, QFormat(4, 11))
+        assert fine < coarse / 10
+
+    def test_integer_codes_dtype(self, rng):
+        codes = quantize(rng.standard_normal(10))
+        assert codes.dtype == np.int64
+
+    def test_empty_error_raises(self):
+        with pytest.raises(PlatformError):
+            quantization_rms_error(np.array([]))
+
+
+class TestQuantizedDetection:
+    def test_position_survives_16_bit_features(self, rng):
+        # The deployment question: quantizing the z-scored feature array
+        # to Q4.11 must not move the Algorithm 1 argmax.
+        x = rng.standard_normal((150, 10))
+        x[60:75] += 3.0
+        exact = a_posteriori_fast(x, 15)
+        quantized = dequantize(quantize(x, Q4_11), Q4_11)
+        fixed = a_posteriori_fast(quantized, 15)
+        assert fixed.position == exact.position
+
+    def test_position_usually_survives_8_bit(self, rng):
+        fmt = QFormat(4, 3)  # 8-bit total
+        hits = 0
+        for seed in range(5):
+            local = np.random.default_rng(seed)
+            x = local.standard_normal((120, 10))
+            x[40:52] += 3.0
+            exact = a_posteriori_fast(x, 12)
+            fixed = a_posteriori_fast(dequantize(quantize(x, fmt), fmt), 12)
+            hits += int(abs(fixed.position - exact.position) <= 2)
+        assert hits >= 4

@@ -1,0 +1,93 @@
+"""Unit tests for the real-time detector (window RF + alarm smoothing)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.ml.validation import TrainingSet, build_balanced_training_set
+from repro.selflearning.detector import DetectionEvent, RealTimeDetector
+
+
+@pytest.fixture(scope="module")
+def trained(dataset):
+    """A detector trained on patient 8 (strong seizures) with the cheap
+    10-feature extractor to keep the test fast."""
+    ex = Paper10FeatureExtractor()
+    seiz = [dataset.generate_sample(8, k, 0) for k in (0, 1)]
+    free = [dataset.generate_seizure_free(8, 180.0, 0)]
+    ts = build_balanced_training_set(seiz, free, ex, context_s=30.0)
+    det = RealTimeDetector(extractor=ex, n_estimators=20)
+    det.fit(ts)
+    return det
+
+
+class TestConfiguration:
+    def test_invalid_threshold_raises(self):
+        with pytest.raises(ModelError):
+            RealTimeDetector(threshold=1.5)
+
+    def test_invalid_min_consecutive_raises(self):
+        with pytest.raises(ModelError):
+            RealTimeDetector(min_consecutive=0)
+
+    def test_unfitted_predict_raises(self, dataset):
+        det = RealTimeDetector(extractor=Paper10FeatureExtractor())
+        with pytest.raises(ModelError):
+            det.window_probabilities(dataset.generate_seizure_free(1, 60.0, 3))
+
+    def test_empty_training_set_raises(self):
+        det = RealTimeDetector(extractor=Paper10FeatureExtractor())
+        ts = TrainingSet(np.zeros((10, 10)), np.zeros(10, dtype=int), tuple("abcdefghij"))
+        with pytest.raises(ModelError):
+            det.fit(ts)
+
+
+class TestDetection:
+    def test_probabilities_in_unit_interval(self, trained, dataset):
+        rec = dataset.generate_sample(8, 2, 0)
+        proba = trained.window_probabilities(rec)
+        assert np.all((proba >= 0.0) & (proba <= 1.0))
+
+    def test_detects_held_out_seizure(self, trained, dataset):
+        rec = dataset.generate_sample(8, 3, 0)
+        assert trained.caught_seizure(rec)
+
+    def test_events_overlap_seizure(self, trained, dataset):
+        rec = dataset.generate_sample(8, 2, 0)
+        ann = rec.annotations[0]
+        events = trained.detect(rec)
+        assert events, "expected at least one alarm"
+        assert any(
+            ev.onset_s < ann.offset_s + 60 and ev.offset_s > ann.onset_s - 60
+            for ev in events
+        )
+
+    def test_quiet_on_seizure_free_record(self, trained, dataset):
+        rec = dataset.generate_seizure_free(8, 180.0, 5)
+        events = trained.detect(rec)
+        total_alarm_s = sum(ev.duration_s for ev in events)
+        assert total_alarm_s < 0.2 * rec.duration_s
+
+    def test_evaluate_report(self, trained, dataset):
+        rec = dataset.generate_sample(8, 2, 0)
+        rep = trained.evaluate(rec)
+        assert rep.sensitivity > 0.5
+        assert rep.specificity > 0.8
+
+    def test_min_consecutive_debounce(self, trained, dataset):
+        rec = dataset.generate_sample(8, 2, 0)
+        strict = RealTimeDetector(
+            extractor=trained.extractor, min_consecutive=10
+        )
+        strict._scaler = trained._scaler
+        strict._forest = trained._forest
+        loose_events = trained.detect(rec)
+        strict_events = strict.detect(rec)
+        assert len(strict_events) <= len(loose_events)
+
+
+class TestDetectionEvent:
+    def test_duration(self):
+        ev = DetectionEvent(10.0, 25.0)
+        assert ev.duration_s == 15.0

@@ -1,0 +1,58 @@
+"""Unit tests for the self-learning timeline events."""
+
+import pytest
+
+from repro.data.records import SeizureAnnotation
+from repro.exceptions import DataError
+from repro.selflearning.events import EventKind, PatientTrigger, TimelineEvent
+
+
+class TestTimelineEvent:
+    def test_construction(self):
+        ev = TimelineEvent(EventKind.SEIZURE_MISSED, 120.0, detail="x")
+        assert ev.kind is EventKind.SEIZURE_MISSED
+
+    def test_negative_time_raises(self):
+        with pytest.raises(DataError):
+            TimelineEvent(EventKind.SEIZURE_OCCURRED, -1.0)
+
+
+class TestPatientTrigger:
+    def test_search_interval_basic(self):
+        trig = PatientTrigger(press_time_s=5000.0, lookback_s=3600.0)
+        assert trig.search_interval(10000.0) == (1400.0, 5000.0)
+
+    def test_search_interval_clamped_at_record_start(self):
+        trig = PatientTrigger(press_time_s=1000.0, lookback_s=3600.0)
+        assert trig.search_interval(10000.0) == (0.0, 1000.0)
+
+    def test_press_after_record_end_clamped(self):
+        trig = PatientTrigger(press_time_s=9000.0, lookback_s=3600.0)
+        t0, t1 = trig.search_interval(8000.0)
+        assert t1 == 8000.0 and t0 == 4400.0
+
+    def test_press_at_zero_raises_on_search(self):
+        trig = PatientTrigger(press_time_s=0.0)
+        with pytest.raises(DataError):
+            trig.search_interval(100.0)
+
+    def test_after_seizure_factory(self):
+        ann = SeizureAnnotation(1000.0, 1060.0)
+        trig = PatientTrigger.after_seizure(ann, recovery_s=1800.0)
+        assert trig.press_time_s == 2860.0
+        t0, t1 = trig.search_interval(1e6)
+        # The seizure lies inside the searched hour.
+        assert t0 <= ann.onset_s and ann.offset_s <= t1
+
+    def test_recovery_longer_than_lookback_raises(self):
+        ann = SeizureAnnotation(10.0, 20.0)
+        with pytest.raises(DataError):
+            PatientTrigger.after_seizure(ann, recovery_s=4000.0, lookback_s=3600.0)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"press_time_s": -1.0},
+        {"press_time_s": 10.0, "lookback_s": 0.0},
+    ])
+    def test_invalid_trigger_raises(self, kwargs):
+        with pytest.raises(DataError):
+            PatientTrigger(**kwargs)

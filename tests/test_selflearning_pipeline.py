@@ -1,0 +1,117 @@
+"""Integration-style tests for the closed self-learning loop (Fig. 1)."""
+
+import pytest
+
+from repro.core.labeling import APosterioriLabeler
+from repro.exceptions import ModelError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.selflearning.detector import RealTimeDetector
+from repro.selflearning.events import EventKind
+from repro.selflearning.pipeline import SelfLearningPipeline
+
+
+@pytest.fixture()
+def pipeline(dataset):
+    """Cold-start pipeline for patient 8 using the cheap extractor."""
+    labeler = APosterioriLabeler()
+    detector = RealTimeDetector(
+        extractor=Paper10FeatureExtractor(), n_estimators=15
+    )
+    free = [dataset.generate_seizure_free(8, 180.0, k) for k in range(2)]
+    return SelfLearningPipeline(
+        labeler=labeler,
+        detector=detector,
+        avg_seizure_duration_s=dataset.mean_seizure_duration(8),
+        seizure_free_pool=free,
+        min_train_seizures=2,
+        lookback_s=450.0,
+    )
+
+
+class TestColdStart:
+    def test_all_seizures_missed_before_training(self, pipeline, dataset):
+        rec = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        report = pipeline.observe_record(rec)
+        assert report.n_seizures == 2
+        assert report.n_missed == 2
+        assert report.n_self_labels == 2
+
+    def test_retrains_once_buffer_filled(self, pipeline, dataset):
+        rec = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        report = pipeline.observe_record(rec)
+        assert report.retrained
+        assert pipeline.detector.is_fitted
+        assert pipeline.n_retrainings == 1
+
+    def test_event_log_sequence(self, pipeline, dataset):
+        rec = dataset.generate_monitoring_record(
+            8, 900.0, seizure_indices=[0], min_gap_s=200.0
+        )
+        report = pipeline.observe_record(rec)
+        kinds = [e.kind for e in report.events]
+        assert kinds[0] is EventKind.SEIZURE_OCCURRED
+        assert EventKind.SEIZURE_MISSED in kinds
+        assert EventKind.PATIENT_TRIGGER in kinds
+        assert EventKind.SELF_LABEL_ADDED in kinds
+
+
+class TestLearning:
+    def test_self_labels_close_to_truth(self, pipeline, dataset):
+        rec = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        pipeline.observe_record(rec)
+        for (labeled, ann), truth in zip(pipeline.training_buffer, rec.annotations):
+            assert ann.source == "algorithm"
+            # Self-label lands near the true seizure.
+            assert abs(ann.onset_s - truth.onset_s) < 120.0
+
+    def test_detector_improves_after_learning(self, pipeline, dataset):
+        first = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[0, 1], min_gap_s=500.0
+        )
+        report1 = pipeline.observe_record(first)
+        assert report1.detection_rate == 0.0  # cold start misses all
+        second = dataset.generate_monitoring_record(
+            8, 1800.0, seizure_indices=[2, 3], min_gap_s=500.0, sample_index=1
+        )
+        report2 = pipeline.observe_record(second)
+        # The retrained detector catches at least one new seizure.
+        assert report2.n_detected >= 1
+
+    def test_history_accumulates(self, pipeline, dataset):
+        rec = dataset.generate_monitoring_record(
+            8, 900.0, seizure_indices=[0], min_gap_s=200.0
+        )
+        pipeline.observe_record(rec)
+        n = len(pipeline.history)
+        pipeline.observe_record(
+            dataset.generate_monitoring_record(
+                8, 900.0, seizure_indices=[1], min_gap_s=200.0, sample_index=1
+            )
+        )
+        assert len(pipeline.history) > n
+
+
+class TestValidation:
+    def test_empty_free_pool_raises(self, dataset):
+        with pytest.raises(ModelError):
+            SelfLearningPipeline(
+                labeler=APosterioriLabeler(),
+                detector=RealTimeDetector(extractor=Paper10FeatureExtractor()),
+                avg_seizure_duration_s=50.0,
+                seizure_free_pool=[],
+            )
+
+    def test_invalid_duration_raises(self, dataset):
+        with pytest.raises(ModelError):
+            SelfLearningPipeline(
+                labeler=APosterioriLabeler(),
+                detector=RealTimeDetector(extractor=Paper10FeatureExtractor()),
+                avg_seizure_duration_s=0.0,
+                seizure_free_pool=[dataset.generate_seizure_free(1, 60.0, 0)],
+            )

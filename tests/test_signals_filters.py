@@ -1,0 +1,93 @@
+"""Unit tests for the filtering substrate."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.signals.filters import (
+    EEGPreprocessor,
+    butter_bandpass,
+    butter_highpass,
+    butter_lowpass,
+    notch,
+)
+
+FS = 256.0
+
+
+def tone(freq, duration=4.0, amp=1.0):
+    t = np.arange(0, duration, 1 / FS)
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+class TestButterworth:
+    def test_bandpass_passes_in_band(self):
+        x = tone(10.0)
+        y = butter_bandpass(x, FS, 5.0, 15.0)
+        assert np.isclose(y.std(), x.std(), rtol=0.05)
+
+    def test_bandpass_rejects_out_of_band(self):
+        x = tone(50.0)
+        y = butter_bandpass(x, FS, 5.0, 15.0)
+        # Ignore filtfilt edge transients: judge the interior.
+        interior = y[256:-256]
+        assert interior.std() < 0.01 * x.std()
+
+    def test_highpass_removes_drift(self):
+        t = np.arange(0, 8, 1 / FS)
+        x = tone(10.0, duration=8.0) + 5.0 + 0.5 * t
+        y = butter_highpass(x, FS, 1.0)
+        assert abs(y.mean()) < 0.05
+
+    def test_lowpass_removes_high_freq(self):
+        x = tone(5.0) + tone(100.0)
+        y = butter_lowpass(x, FS, 30.0)
+        # Remaining signal is essentially the 5 Hz component.
+        assert np.isclose(y.std(), tone(5.0).std(), rtol=0.05)
+
+    def test_2d_input_filters_each_row(self):
+        x = np.vstack([tone(10.0), tone(50.0)])
+        y = butter_bandpass(x, FS, 5.0, 15.0)
+        assert y.shape == x.shape
+        assert y[0].std() > 10 * y[1].std()
+
+    @pytest.mark.parametrize("lo,hi", [(0.0, 10.0), (10.0, 5.0), (10.0, 200.0)])
+    def test_invalid_band_raises(self, lo, hi):
+        with pytest.raises(SignalError):
+            butter_bandpass(tone(10.0), FS, lo, hi)
+
+    def test_too_short_raises(self):
+        with pytest.raises(SignalError):
+            butter_highpass(np.ones(8), FS, 1.0)
+
+
+class TestNotch:
+    def test_notch_removes_line_frequency(self):
+        x = tone(10.0) + tone(50.0, amp=2.0)
+        y = notch(x, FS, 50.0)
+        # 50 Hz mostly gone, 10 Hz intact.
+        resid = y - tone(10.0)
+        assert resid.std() < 0.3
+
+    def test_invalid_freq_raises(self):
+        with pytest.raises(SignalError):
+            notch(tone(10.0), FS, 300.0)
+
+
+class TestPreprocessor:
+    def test_chain_applies_all_steps(self):
+        pre = EEGPreprocessor(highpass_hz=0.5, lowpass_hz=40.0, notch_hz=50.0)
+        x = tone(10.0, duration=8.0) + 3.0
+        y = pre.apply(x, FS)
+        assert len(pre.steps) == 3
+        assert abs(y.mean()) < 0.05
+
+    def test_notch_skipped_above_nyquist(self):
+        pre = EEGPreprocessor(notch_hz=50.0, lowpass_hz=None)
+        pre.apply(tone(10.0), fs=64.0)
+        assert all("notch" not in s for s in pre.steps)
+
+    def test_disabled_stages(self):
+        pre = EEGPreprocessor(lowpass_hz=None, notch_hz=None)
+        pre.apply(tone(10.0), FS)
+        assert pre.steps == ("highpass 0.5 Hz",)

@@ -1,0 +1,83 @@
+"""Unit tests for sample-rate conversion."""
+
+import numpy as np
+import pytest
+
+from repro.data.records import EEGRecord, SeizureAnnotation
+from repro.exceptions import SignalError
+from repro.signals.resample import decimate, resample_record, resample_to
+
+
+def tone(freq, fs, duration=8.0):
+    t = np.arange(0, duration, 1 / fs)
+    return np.sin(2 * np.pi * freq * t)
+
+
+class TestDecimate:
+    def test_length_reduction(self):
+        x = tone(5.0, 1024.0)
+        y = decimate(x, 4)
+        assert y.size == pytest.approx(x.size / 4, abs=2)
+
+    def test_tone_preserved(self):
+        x = tone(5.0, 1024.0)
+        y = decimate(x, 4)
+        # Power of the 5 Hz tone survives decimation to 256 Hz.
+        assert np.isclose(y[512:-512].std(), x.std(), rtol=0.05)
+
+    def test_factor_one_copies(self):
+        x = tone(5.0, 256.0)
+        y = decimate(x, 1)
+        assert np.array_equal(x, y)
+        assert y is not x
+
+    def test_invalid_factor_raises(self):
+        with pytest.raises(SignalError):
+            decimate(tone(5.0, 256.0), 0)
+
+    def test_too_short_raises(self):
+        with pytest.raises(SignalError):
+            decimate(np.ones(10), 4)
+
+
+class TestResampleTo:
+    @pytest.mark.parametrize("fs_in,fs_out", [(512.0, 256.0), (125.0, 256.0), (200.0, 256.0)])
+    def test_duration_preserved(self, fs_in, fs_out):
+        x = tone(5.0, fs_in)
+        y = resample_to(x, fs_in, fs_out)
+        assert y.size == pytest.approx(x.size * fs_out / fs_in, rel=0.01)
+
+    def test_tone_frequency_preserved(self):
+        from repro.signals.spectral import peak_frequency
+
+        x = tone(7.0, 512.0)
+        y = resample_to(x, 512.0, 256.0)
+        assert np.isclose(peak_frequency(y, 256.0), 7.0, atol=0.3)
+
+    def test_identity(self):
+        x = tone(5.0, 256.0)
+        assert np.array_equal(resample_to(x, 256.0, 256.0), x)
+
+    def test_multichannel(self):
+        x = np.vstack([tone(5.0, 512.0), tone(9.0, 512.0)])
+        y = resample_to(x, 512.0, 256.0)
+        assert y.shape[0] == 2
+
+    def test_invalid_rates_raise(self):
+        with pytest.raises(SignalError):
+            resample_to(tone(5.0, 256.0), -1.0, 256.0)
+
+
+class TestResampleRecord:
+    def test_annotations_unchanged(self):
+        rng = np.random.default_rng(0)
+        rec = EEGRecord(
+            data=rng.standard_normal((2, 512 * 30)),
+            fs=512.0,
+            annotations=[SeizureAnnotation(5.0, 15.0)],
+        )
+        out = resample_record(rec, 256.0)
+        assert out.fs == 256.0
+        assert out.duration_s == pytest.approx(rec.duration_s, rel=0.01)
+        assert out.annotations[0].onset_s == 5.0
+        assert "@256Hz" in out.record_id

@@ -1,0 +1,138 @@
+"""Unit tests for spectral estimation, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from scipy import signal as ssig
+
+from repro.exceptions import SignalError
+from repro.signals.spectral import (
+    EEG_BANDS,
+    band_power,
+    band_power_from_psd,
+    median_frequency,
+    peak_frequency,
+    periodogram,
+    relative_band_power,
+    spectral_edge_frequency,
+    total_power,
+    welch_psd,
+)
+
+FS = 256.0
+
+
+def tone(freq, duration=4.0, amp=1.0, fs=FS):
+    t = np.arange(0, duration, 1 / fs)
+    return amp * np.sin(2 * np.pi * freq * t)
+
+
+class TestPeriodogram:
+    def test_total_power_equals_variance(self, rng):
+        x = rng.standard_normal(2048)
+        freqs, psd = periodogram(x, FS)
+        assert np.isclose(np.trapezoid(psd, freqs), x.var(), rtol=0.05)
+
+    def test_tone_peak_location(self):
+        freqs, psd = periodogram(tone(10.0), FS)
+        assert np.isclose(freqs[np.argmax(psd)], 10.0, atol=freqs[1])
+
+    def test_matches_scipy(self, rng):
+        x = rng.standard_normal(1024)
+        f1, p1 = periodogram(x, FS, detrend=True)
+        f2, p2 = ssig.periodogram(x, FS, detrend="constant")
+        assert np.allclose(f1, f2)
+        assert np.allclose(p1, p2, atol=1e-10)
+
+    def test_bad_window_raises(self, rng):
+        with pytest.raises(SignalError):
+            periodogram(rng.standard_normal(64), FS, window="hamming")
+
+    def test_negative_fs_raises(self, rng):
+        with pytest.raises(SignalError):
+            periodogram(rng.standard_normal(64), -1.0)
+
+
+class TestWelch:
+    def test_matches_scipy_closely(self, rng):
+        x = rng.standard_normal(4096)
+        f1, p1 = welch_psd(x, FS, nperseg=256)
+        f2, p2 = ssig.welch(x, FS, nperseg=256)
+        assert np.allclose(f1, f2)
+        assert np.max(np.abs(p1 - p2)) / p2.max() < 0.01
+
+    def test_short_signal_uses_single_segment(self, rng):
+        x = rng.standard_normal(100)
+        freqs, psd = welch_psd(x, FS, nperseg=256)
+        assert freqs.size == 100 // 2 + 1
+
+    def test_invalid_overlap_raises(self, rng):
+        with pytest.raises(SignalError):
+            welch_psd(rng.standard_normal(512), FS, overlap=1.0)
+
+    def test_nan_raises(self):
+        x = np.ones(128)
+        x[3] = np.inf
+        with pytest.raises(SignalError):
+            welch_psd(x, FS)
+
+
+class TestBandPower:
+    def test_tone_power_lands_in_its_band(self):
+        x = tone(6.0, amp=2.0)  # theta band, power = amp^2/2 = 2
+        assert np.isclose(band_power(x, FS, "theta"), 2.0, rtol=0.05)
+        assert band_power(x, FS, "alpha") < 0.05
+
+    def test_relative_power_of_pure_tone_is_one(self):
+        x = tone(6.0)
+        assert relative_band_power(x, FS, "theta") > 0.98
+
+    def test_relative_power_bounded(self, rng):
+        x = rng.standard_normal(1024)
+        for name in EEG_BANDS:
+            rp = relative_band_power(x, FS, name)
+            assert 0.0 <= rp <= 1.0
+
+    def test_total_power_matches_variance(self, rng):
+        x = rng.standard_normal(1024)
+        assert np.isclose(total_power(x, FS), x.var(), rtol=0.1)
+
+    def test_relative_power_zero_signal(self):
+        assert relative_band_power(np.zeros(256) + 0.0, FS, "theta") == 0.0
+
+    def test_band_power_from_psd_agrees(self, rng):
+        x = rng.standard_normal(1024)
+        freqs, psd = welch_psd(x, FS, nperseg=x.size)
+        assert np.isclose(
+            band_power_from_psd(freqs, psd, "delta"), band_power(x, FS, "delta")
+        )
+
+    def test_invalid_band_raises(self, rng):
+        with pytest.raises(SignalError):
+            band_power(rng.standard_normal(256), FS, (8.0, 4.0))
+
+    def test_narrow_band_falls_back_to_bin(self, rng):
+        x = rng.standard_normal(256)
+        value = band_power(x, FS, (10.0, 10.1))
+        assert value >= 0.0
+
+
+class TestSpectralShape:
+    def test_edge_frequency_of_tone(self):
+        x = tone(20.0)
+        assert np.isclose(spectral_edge_frequency(x, FS, 0.9), 20.0, atol=1.0)
+
+    def test_median_frequency_ordering(self, rng):
+        x = rng.standard_normal(2048)
+        assert median_frequency(x, FS) <= spectral_edge_frequency(x, FS, 0.95)
+
+    def test_peak_frequency_of_mixture(self):
+        x = tone(7.0, amp=3.0) + tone(30.0, amp=1.0)
+        assert np.isclose(peak_frequency(x, FS), 7.0, atol=0.5)
+
+    def test_invalid_edge_raises(self, rng):
+        with pytest.raises(SignalError):
+            spectral_edge_frequency(rng.standard_normal(256), FS, edge=1.5)
+
+    def test_peak_frequency_fmin_too_high_raises(self, rng):
+        with pytest.raises(SignalError):
+            peak_frequency(rng.standard_normal(256), FS, fmin=1e6)

@@ -1,0 +1,159 @@
+"""Unit tests for the from-scratch Daubechies DWT."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SignalError
+from repro.signals.wavelet import (
+    DB4_SCALING,
+    daubechies_filter,
+    dwt_max_level,
+    dwt_single,
+    idwt_single,
+    quadrature_mirror,
+    subband_frequencies,
+    wavedec,
+    waverec,
+)
+
+
+class TestDaubechiesFilter:
+    def test_db4_matches_published_coefficients(self):
+        h = daubechies_filter(4)
+        assert np.allclose(h, DB4_SCALING, atol=1e-10)
+
+    def test_db1_is_haar(self):
+        h = daubechies_filter(1)
+        assert np.allclose(h, [1 / np.sqrt(2)] * 2)
+
+    def test_db2_known_values(self):
+        # Classic D4 coefficients (1+sqrt3)/(4 sqrt2) etc.
+        s3 = np.sqrt(3.0)
+        expected = np.array([1 + s3, 3 + s3, 3 - s3, 1 - s3]) / (4 * np.sqrt(2))
+        assert np.allclose(daubechies_filter(2), expected, atol=1e-12)
+
+    @pytest.mark.parametrize("order", [1, 2, 3, 4, 6, 8, 10])
+    def test_filter_length_and_sum(self, order):
+        h = daubechies_filter(order)
+        assert h.size == 2 * order
+        assert np.isclose(h.sum(), np.sqrt(2.0))
+
+    @pytest.mark.parametrize("order", [2, 4, 7])
+    def test_orthonormality_shifts(self, order):
+        # sum_k h[k] h[k + 2m] == delta(m)
+        h = daubechies_filter(order)
+        for m in range(order):
+            dot = np.sum(h[: h.size - 2 * m] * h[2 * m :])
+            assert np.isclose(dot, 1.0 if m == 0 else 0.0, atol=1e-10)
+
+    @pytest.mark.parametrize("order", [2, 4])
+    def test_vanishing_moments(self, order):
+        # High-pass filter annihilates polynomials up to degree order-1.
+        g = quadrature_mirror(daubechies_filter(order))
+        n = np.arange(g.size)
+        for p in range(order):
+            assert np.isclose(np.sum(g * n**p), 0.0, atol=1e-8)
+
+    @pytest.mark.parametrize("order", [0, -1, 21])
+    def test_invalid_order_raises(self, order):
+        with pytest.raises(SignalError):
+            daubechies_filter(order)
+
+
+class TestSingleLevel:
+    def test_perfect_reconstruction(self, rng):
+        x = rng.standard_normal(256)
+        a, d = dwt_single(x)
+        rec = idwt_single(a, d)
+        assert np.allclose(rec, x, atol=1e-12)
+
+    def test_energy_preservation(self, rng):
+        x = rng.standard_normal(512)
+        a, d = dwt_single(x)
+        assert np.isclose((a**2).sum() + (d**2).sum(), (x**2).sum())
+
+    def test_output_lengths(self, rng):
+        a, d = dwt_single(rng.standard_normal(100))
+        assert a.size == d.size == 50
+
+    def test_odd_length_padded(self, rng):
+        a, d = dwt_single(rng.standard_normal(101))
+        assert a.size == 51
+
+    def test_constant_signal_detail_is_zero(self):
+        a, d = dwt_single(np.full(64, 3.0))
+        assert np.allclose(d, 0.0, atol=1e-12)
+        assert np.allclose(a, 3.0 * np.sqrt(2.0), atol=1e-12)
+
+    def test_mismatched_coeff_lengths_raise(self, rng):
+        with pytest.raises(SignalError):
+            idwt_single(rng.standard_normal(8), rng.standard_normal(9))
+
+    def test_nan_raises(self):
+        x = np.ones(32)
+        x[5] = np.nan
+        with pytest.raises(SignalError):
+            dwt_single(x)
+
+    def test_too_short_raises(self):
+        with pytest.raises(SignalError):
+            dwt_single(np.array([1.0]))
+
+    def test_2d_raises(self):
+        with pytest.raises(SignalError):
+            dwt_single(np.ones((4, 4)))
+
+
+class TestMultilevel:
+    def test_wavedec_layout(self, rng):
+        coeffs = wavedec(rng.standard_normal(1024), level=7)
+        assert len(coeffs) == 8
+        assert [c.size for c in coeffs] == [8, 8, 16, 32, 64, 128, 256, 512]
+
+    def test_roundtrip(self, rng):
+        x = rng.standard_normal(1024)
+        assert np.allclose(waverec(wavedec(x, 7)), x, atol=1e-10)
+
+    def test_multilevel_parseval(self, rng):
+        x = rng.standard_normal(1024)
+        coeffs = wavedec(x, 5)
+        assert np.isclose(sum((c**2).sum() for c in coeffs), (x**2).sum())
+
+    def test_level_zero_raises(self, rng):
+        with pytest.raises(SignalError):
+            wavedec(rng.standard_normal(64), level=0)
+
+    def test_too_deep_raises(self):
+        with pytest.raises(SignalError):
+            wavedec(np.ones(4), level=4)
+
+    def test_waverec_needs_two_arrays(self):
+        with pytest.raises(SignalError):
+            waverec([np.ones(4)])
+
+    def test_pure_tone_concentrates_in_matching_subband(self):
+        # A 3 Hz tone at 256 Hz belongs in the level-6/7 region (2-4 Hz).
+        fs = 256.0
+        t = np.arange(0, 4, 1 / fs)
+        x = np.sin(2 * np.pi * 3.0 * t)
+        coeffs = wavedec(x, 7)
+        energies = [(c**2).sum() for c in coeffs]
+        labels = ["a7", "d7", "d6", "d5", "d4", "d3", "d2", "d1"]
+        top = labels[int(np.argmax(energies))]
+        assert top in ("d6", "d7", "a7")
+
+
+class TestHelpers:
+    def test_dwt_max_level_values(self):
+        assert dwt_max_level(1024, 8) == 7
+        assert dwt_max_level(7, 8) == 0
+
+    def test_subband_frequencies(self):
+        lo, hi = subband_frequencies(256.0, 1)
+        assert (lo, hi) == (64.0, 128.0)
+        lo7, hi7 = subband_frequencies(256.0, 7)
+        assert np.isclose(lo7, 1.0) and np.isclose(hi7, 2.0)
+
+    def test_subband_level_zero_raises(self):
+        with pytest.raises(SignalError):
+            subband_frequencies(256.0, 0)
