@@ -11,6 +11,8 @@ The package is organized as one subpackage per subsystem:
 * :mod:`repro.features` — the 10 selected features, the e-Glass 54-feature
   family, backward elimination;
 * :mod:`repro.ml` — random forest, clustering baselines, metrics;
+* :mod:`repro.engine` — cohort-scale parallel batch execution with an
+  equivalence guarantee against the sequential pipeline;
 * :mod:`repro.selflearning` — the Fig. 1 closed loop;
 * :mod:`repro.platform` — the wearable power/battery/memory/runtime model.
 
@@ -41,6 +43,14 @@ from .core import (
     max_deviation,
     normalized_deviation,
     score_seizure,
+)
+from .engine import (
+    CohortEngine,
+    CohortReport,
+    FeatureCache,
+    RecordTask,
+    cohort_tasks,
+    extract_features_chunked,
 )
 from .data import (
     EEGRecord,
@@ -103,6 +113,13 @@ __all__ = [
     "max_deviation",
     "normalized_deviation",
     "score_seizure",
+    # engine
+    "CohortEngine",
+    "CohortReport",
+    "FeatureCache",
+    "RecordTask",
+    "cohort_tasks",
+    "extract_features_chunked",
     # data
     "EEGRecord",
     "PAPER_PATIENTS",

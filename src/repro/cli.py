@@ -8,6 +8,8 @@ code:
   EDF) and print/append the detected seizure annotation;
 * ``simulate`` — generate a synthetic cohort record and demonstrate the
   labeling end to end (no files needed);
+* ``cohort``   — fan the full evaluation out across a worker pool (the
+  :mod:`repro.engine` executor) and print the Table I/II-style rollup;
 * ``lifetime`` — evaluate the wearable battery model at a given seizure
   frequency (the Table III arithmetic).
 """
@@ -16,12 +18,15 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 
 from .core.diagnostics import label_confidence
 from .core.deviation import deviation, normalized_deviation
 from .core.labeling import APosterioriLabeler
 from .data.dataset import SyntheticEEGDataset
 from .data.edf import load_record
+from .engine import CohortEngine
+from .exceptions import ReproError
 from .platform.battery import WearablePlatform
 
 __all__ = ["build_parser", "main"]
@@ -68,6 +73,48 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=12.0,
         help="maximum record duration in minutes (default 12)",
+    )
+
+    p_cohort = sub.add_parser(
+        "cohort", help="parallel cohort evaluation (Table I/II rollup)"
+    )
+    p_cohort.add_argument(
+        "--patients",
+        default="",
+        help="comma-separated patient ids (default: the full cohort)",
+    )
+    p_cohort.add_argument(
+        "--samples", type=int, default=1, help="samples per seizure (default 1)"
+    )
+    p_cohort.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker pool size (default: CPU count)",
+    )
+    p_cohort.add_argument(
+        "--executor",
+        choices=("process", "thread", "serial"),
+        default="process",
+        help="pool kind (default: process)",
+    )
+    p_cohort.add_argument(
+        "--duration-min",
+        type=float,
+        default=8.0,
+        help="minimum record duration in minutes (default 8)",
+    )
+    p_cohort.add_argument(
+        "--duration-max",
+        type=float,
+        default=15.0,
+        help="maximum record duration in minutes (default 15)",
+    )
+    p_cohort.add_argument(
+        "--json",
+        default="",
+        metavar="PATH",
+        help="also write the canonical CohortReport JSON to this file",
     )
 
     p_life = sub.add_parser("lifetime", help="battery lifetime of the wearable")
@@ -123,6 +170,69 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cohort(args: argparse.Namespace) -> int:
+    if args.duration_min <= 0 or args.duration_max < args.duration_min:
+        print("error: invalid duration range", file=sys.stderr)
+        return 2
+    if args.samples < 1:
+        print("error: --samples must be >= 1", file=sys.stderr)
+        return 2
+    patient_ids = None
+    if args.patients.strip():
+        try:
+            patient_ids = [int(p) for p in args.patients.split(",") if p.strip()]
+        except ValueError:
+            print(f"error: bad --patients list {args.patients!r}", file=sys.stderr)
+            return 2
+    try:
+        dataset = SyntheticEEGDataset(
+            duration_range_s=(args.duration_min * 60.0, args.duration_max * 60.0)
+        )
+        engine = CohortEngine(
+            dataset, max_workers=args.workers, executor=args.executor
+        )
+        start = time.perf_counter()
+        report = engine.run(
+            samples_per_seizure=args.samples, patient_ids=patient_ids
+        )
+        elapsed = time.perf_counter() - start
+    except ReproError as exc:
+        # DataError from the dataset configuration, EngineError for bad
+        # engine configuration, and DataError / LabelingError /
+        # FeatureError surfacing from the workers (e.g. a duration range
+        # too short to host a patient's seizures).
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"{'patient':>7}  {'records':>7}  {'delta_s':>8}  {'d_norm':>7}  "
+          f"{'sens':>6}  {'spec':>6}  {'gmean':>6}")
+    for row in report.table_rows():
+        print(
+            f"{row['patient']:>7d}  {row['records']:>7d}  "
+            f"{row['median_delta_s']:>8.1f}  {row['median_delta_norm']:>7.4f}  "
+            f"{row['sensitivity']:>6.3f}  {row['specificity']:>6.3f}  "
+            f"{row['geometric_mean']:>6.3f}"
+        )
+    print(
+        f"cohort: {report.n_records} records, median delta = "
+        f"{report.median_delta_s:.1f} s, median delta_norm = "
+        f"{report.median_delta_norm:.4f}, gmean = {report.geometric_mean:.3f}"
+    )
+    print(
+        f"executed in {elapsed:.1f} s ({args.executor}, "
+        f"{engine.effective_workers(report.n_records)} worker(s))"
+    )
+    if args.json:
+        try:
+            with open(args.json, "w") as fh:
+                fh.write(report.to_json())
+        except OSError as exc:
+            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
+            return 2
+        print(f"report JSON written to {args.json}")
+    return 0
+
+
 def _cmd_lifetime(args: argparse.Namespace) -> int:
     platform = WearablePlatform()
     if args.labeling_only:
@@ -144,6 +254,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "label": _cmd_label,
         "simulate": _cmd_simulate,
+        "cohort": _cmd_cohort,
         "lifetime": _cmd_lifetime,
     }
     return handlers[args.command](args)

@@ -100,6 +100,46 @@ class APosterioriLabeler:
             features, window_length, grid_step=self.grid_step
         )
 
+    def label_matrix(
+        self,
+        feats: FeatureMatrix,
+        avg_seizure_duration_s: float,
+        duration_s: float,
+    ) -> LabelingResult:
+        """Label from a precomputed feature matrix.
+
+        The single code path behind both :meth:`label` and the cohort
+        engine (which extracts features chunked/cached and must produce
+        results identical to the sequential pipeline).
+
+        Parameters
+        ----------
+        feats:
+            The record's full sliding-window feature matrix.
+        avg_seizure_duration_s:
+            The expert prior (Algorithm 1's ``W``).
+        duration_s:
+            Record duration, used to clip the label's right edge.
+        """
+        w = self.window_length_for(avg_seizure_duration_s)
+        if w >= feats.n_windows:
+            raise LabelingError(
+                f"record yields only {feats.n_windows} feature points; "
+                f"cannot search for a {w}-step seizure window"
+            )
+        detection = self.label_features(feats.values, w)
+
+        onset_s = detection.position * self.spec.step_s
+        offset_s = (detection.position + w) * self.spec.step_s
+        # Clip the right edge to the record (the window can touch the end).
+        offset_s = min(offset_s, duration_s)
+        annotation = SeizureAnnotation(
+            onset_s=onset_s, offset_s=offset_s, source="algorithm"
+        )
+        return LabelingResult(
+            annotation=annotation, detection=detection, features=feats
+        )
+
     def label(
         self,
         record: EEGRecord,
@@ -112,21 +152,4 @@ class APosterioriLabeler:
         duration provided once by a clinician.
         """
         feats = extract_features(record, self.extractor, self.spec)
-        w = self.window_length_for(avg_seizure_duration_s)
-        if w >= feats.n_windows:
-            raise LabelingError(
-                f"record yields only {feats.n_windows} feature points; "
-                f"cannot search for a {w}-step seizure window"
-            )
-        detection = self.label_features(feats.values, w)
-
-        onset_s = detection.position * self.spec.step_s
-        offset_s = (detection.position + w) * self.spec.step_s
-        # Clip the right edge to the record (the window can touch the end).
-        offset_s = min(offset_s, record.duration_s)
-        annotation = SeizureAnnotation(
-            onset_s=onset_s, offset_s=offset_s, source="algorithm"
-        )
-        return LabelingResult(
-            annotation=annotation, detection=detection, features=feats
-        )
+        return self.label_matrix(feats, avg_seizure_duration_s, record.duration_s)

@@ -97,6 +97,27 @@ class StreamingFeatureExtractor:
             return np.empty((0, self.extractor.n_features))
         return np.vstack(rows)
 
+    def finalize(self) -> int:
+        """Declare the stream finished; returns the total windows emitted.
+
+        Raises
+        ------
+        FeatureError
+            If the whole stream was shorter than one window, so not a
+            single feature row was ever produced.  This mirrors the batch
+            path (:func:`repro.features.extraction.extract_features`),
+            which raises for short records instead of silently returning
+            zero rows — the two paths must agree so callers cannot build
+            empty feature matrices by switching to streaming.
+        """
+        if self._next_window == 0:
+            total = self._consumed + self._buffer.shape[1]
+            raise FeatureError(
+                f"stream of {total / self.fs:.1f}s shorter than one "
+                f"{self.spec.length_s:.1f}s window"
+            )
+        return self._next_window
+
 
 class RollingFeatureBuffer:
     """Bounded FIFO of the most recent feature rows (the lookback hour)."""

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..exceptions import DataError
 
-__all__ = ["SeizureAnnotation", "EEGRecord"]
+__all__ = ["SeizureAnnotation", "EEGRecord", "interval_window_labels"]
 
 
 @dataclass(frozen=True)
@@ -182,19 +182,14 @@ class EEGRecord:
         its span intersects an annotation — the standard convention for
         training window-level detectors on interval labels.
         """
-        if not 0.0 < min_overlap <= 1.0:
-            raise DataError(f"min_overlap must be in (0, 1], got {min_overlap}")
-        n_win = int(self.duration_s - window_s) // int(step_s) + 1 if (
+        if step_s <= 0:
+            raise DataError(f"step must be positive, got {step_s}")
+        n_win = int((self.duration_s - window_s) // step_s) + 1 if (
             self.duration_s >= window_s
         ) else 0
-        labels = np.zeros(max(n_win, 0), dtype=np.int64)
-        for i in range(labels.size):
-            t0 = i * step_s
-            t1 = t0 + window_s
-            inter = sum(a.intersection_s(t0, t1) for a in self.annotations)
-            if inter >= min_overlap * window_s:
-                labels[i] = 1
-        return labels
+        return interval_window_labels(
+            self.annotations, n_win, window_s, step_s, min_overlap
+        )
 
     @property
     def seizure_count(self) -> int:
@@ -206,3 +201,30 @@ class EEGRecord:
             f"{self.n_channels}ch x {self.duration_s:.1f}s @ {self.fs:g}Hz, "
             f"{self.seizure_count} seizure(s))"
         )
+
+
+def interval_window_labels(
+    annotations: list[SeizureAnnotation],
+    n_windows: int,
+    window_s: float,
+    step_s: float,
+    min_overlap: float = 0.5,
+) -> np.ndarray:
+    """Binary per-window labels of annotation intervals (1 = seizure).
+
+    The single home of the window/annotation overlap convention: a
+    window is positive when at least ``min_overlap`` of its span
+    intersects an annotation.  :meth:`EEGRecord.window_labels` and the
+    cohort engine's predicted-label masks both delegate here, so the
+    convention cannot drift between the truth and prediction sides.
+    """
+    if not 0.0 < min_overlap <= 1.0:
+        raise DataError(f"min_overlap must be in (0, 1], got {min_overlap}")
+    labels = np.zeros(max(n_windows, 0), dtype=np.int64)
+    for i in range(labels.size):
+        t0 = i * step_s
+        t1 = t0 + window_s
+        inter = sum(a.intersection_s(t0, t1) for a in annotations)
+        if inter >= min_overlap * window_s:
+            labels[i] = 1
+    return labels

@@ -1,0 +1,35 @@
+"""Cohort-scale parallel execution engine.
+
+Fans the full per-record pipeline (synthesize -> extract -> label ->
+score) out across :mod:`concurrent.futures` worker pools with chunked,
+memory-bounded feature extraction and an in-process feature cache, while
+guaranteeing results identical to the sequential pipeline for any worker
+count (the equivalence contract the parity tests enforce).
+
+* :class:`CohortEngine` — the executor (process / thread / serial);
+* :class:`RecordTask` / :func:`cohort_tasks` — the shardable work list;
+* :class:`CohortReport` — deterministic Table I/II-style aggregation;
+* :func:`extract_features_chunked` — the engine's bounded-memory record
+  path, bit-identical to batch extraction;
+* :class:`FeatureCache` — LRU memo keyed by (record, extractor, spec).
+"""
+
+from .cache import FeatureCache, feature_cache_key
+from .chunked import DEFAULT_CHUNK_S, extract_features_chunked
+from .executor import CohortEngine, EngineConfig
+from .report import CohortReport, PatientSummary, RecordOutcome
+from .tasks import RecordTask, cohort_tasks
+
+__all__ = [
+    "DEFAULT_CHUNK_S",
+    "CohortEngine",
+    "CohortReport",
+    "EngineConfig",
+    "FeatureCache",
+    "PatientSummary",
+    "RecordOutcome",
+    "RecordTask",
+    "cohort_tasks",
+    "extract_features_chunked",
+    "feature_cache_key",
+]

@@ -1,0 +1,295 @@
+"""Cohort-scale parallel execution engine.
+
+:class:`CohortEngine` fans the full per-record pipeline — synthesize the
+record from its deterministic coordinates, extract features (chunked,
+via the in-process cache), run Algorithm 1, score against the expert
+annotation — out across a :mod:`concurrent.futures` worker pool.
+
+Equivalence contract
+--------------------
+Every task is a pure function of (dataset seed, task coordinates): the
+record is regenerated inside the worker, chunked extraction is
+bit-identical to batch extraction, and Algorithm 1 is deterministic.
+Results are re-sorted into canonical task order before aggregation, so
+the produced :class:`~repro.engine.report.CohortReport` is identical —
+byte-for-byte in its JSON form — for any worker count, executor kind, or
+scheduling interleaving.  The parity/determinism test suites enforce
+this against the sequential per-record pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.deviation import deviation, normalized_deviation
+from ..core.labeling import APosterioriLabeler
+from ..data.dataset import SyntheticEEGDataset
+from ..data.records import EEGRecord, SeizureAnnotation, interval_window_labels
+from ..exceptions import EngineError
+from ..features.base import FeatureExtractor
+from ..ml.metrics import classification_report
+from ..signals.windowing import WindowSpec
+from .cache import FeatureCache
+from .chunked import DEFAULT_CHUNK_S
+from .report import CohortReport, RecordOutcome
+from .tasks import RecordTask, cohort_tasks
+
+__all__ = ["EngineConfig", "CohortEngine"]
+
+#: Supported executor kinds.
+_EXECUTORS = ("process", "thread", "serial")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Everything a worker needs to process tasks independently.
+
+    Shipped once per worker (pickled for process pools), so it must stay
+    small: the dataset is a few kB of profile parameters, never signal.
+    """
+
+    dataset: SyntheticEEGDataset
+    extractor: FeatureExtractor | None = None
+    spec: WindowSpec = field(default_factory=lambda: WindowSpec(4.0, 1.0))
+    method: str = "fast"
+    grid_step: int = 4
+    chunk_s: float = DEFAULT_CHUNK_S
+    cache_capacity: int = 8
+    #: Window/annotation overlap fraction for the sensitivity/specificity
+    #: scoring (same convention as :meth:`EEGRecord.window_labels`).
+    min_overlap: float = 0.5
+
+
+class _WorkerContext:
+    """Per-worker state: labeler + feature cache, built once per process."""
+
+    def __init__(self, config: EngineConfig) -> None:
+        self.config = config
+        self.labeler = APosterioriLabeler(
+            extractor=config.extractor,
+            spec=config.spec,
+            method=config.method,
+            grid_step=config.grid_step,
+        )
+        self.cache = FeatureCache(config.cache_capacity)
+
+    def process(self, task: RecordTask) -> RecordOutcome:
+        """Run the full pipeline for one record task."""
+        cfg = self.config
+        record = cfg.dataset.generate_sample(
+            task.patient_id,
+            task.seizure_index,
+            task.sample_index,
+            duration_range_s=task.duration_range_s,
+        )
+        feats = self.cache.get_or_extract(
+            record, self.labeler.extractor, self.labeler.spec, cfg.chunk_s
+        )
+        # The exact code path of the sequential pipeline, fed the
+        # chunked/cached matrix — the equivalence contract by sharing,
+        # not by re-implementation.
+        result = self.labeler.label_matrix(
+            feats,
+            cfg.dataset.mean_seizure_duration(task.patient_id),
+            record.duration_s,
+        )
+        return self._score(task, record, feats.n_windows, result.annotation)
+
+    def _score(
+        self,
+        task: RecordTask,
+        record: EEGRecord,
+        n_windows: int,
+        ann: SeizureAnnotation,
+    ) -> RecordOutcome:
+        cfg = self.config
+        spec = self.labeler.spec
+        truth = record.annotations[0]
+        truth_labels = record.window_labels(
+            spec.length_s, spec.step_s, cfg.min_overlap
+        )
+        pred_labels = interval_window_labels(
+            [ann], n_windows, spec.length_s, spec.step_s, cfg.min_overlap
+        )
+        n = min(truth_labels.size, pred_labels.size)
+        scores = classification_report(truth_labels[:n], pred_labels[:n])
+        return RecordOutcome(
+            patient_id=task.patient_id,
+            seizure_index=task.seizure_index,
+            sample_index=task.sample_index,
+            record_id=record.record_id,
+            duration_s=record.duration_s,
+            n_windows=n_windows,
+            truth_onset_s=truth.onset_s,
+            truth_offset_s=truth.offset_s,
+            onset_s=ann.onset_s,
+            offset_s=ann.offset_s,
+            delta_s=deviation(truth, ann),
+            delta_norm=normalized_deviation(truth, ann, record.duration_s),
+            sensitivity=scores.sensitivity,
+            specificity=scores.specificity,
+            geometric_mean=scores.geometric_mean,
+        )
+
+
+# Per-process worker state, installed by the pool initializer.  Module
+# globals (not closures) because process pools can only ship module-level
+# callables.
+_WORKER: _WorkerContext | None = None
+
+
+def _init_worker(config: EngineConfig) -> None:
+    global _WORKER
+    _WORKER = _WorkerContext(config)
+
+
+def _run_task(task: RecordTask) -> RecordOutcome:
+    assert _WORKER is not None, "worker pool initializer did not run"
+    return _WORKER.process(task)
+
+
+class CohortEngine:
+    """Batch executor for cohort-scale evaluation workloads.
+
+    Parameters
+    ----------
+    dataset:
+        The deterministic record source; workers regenerate records from
+        its seed, so only task coordinates cross process boundaries.
+    max_workers:
+        Pool size (default: the machine's CPU count).
+    executor:
+        ``"process"`` (default; true parallelism for the numpy/Python mix
+        of the feature extractors), ``"thread"``, or ``"serial"`` (no
+        pool — the reference path the parity tests compare against).
+    extractor / spec / method / grid_step:
+        Pipeline configuration, as for
+        :class:`~repro.core.labeling.APosterioriLabeler`.
+    chunk_s / cache_capacity / min_overlap:
+        See :class:`EngineConfig`.
+    """
+
+    def __init__(
+        self,
+        dataset: SyntheticEEGDataset,
+        *,
+        max_workers: int | None = None,
+        executor: str = "process",
+        extractor: FeatureExtractor | None = None,
+        spec: WindowSpec | None = None,
+        method: str = "fast",
+        grid_step: int = 4,
+        chunk_s: float = DEFAULT_CHUNK_S,
+        cache_capacity: int = 8,
+        min_overlap: float = 0.5,
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise EngineError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        if not 0.0 < min_overlap <= 1.0:
+            raise EngineError(
+                f"min_overlap must be in (0, 1], got {min_overlap}"
+            )
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.executor = executor
+        self.config = EngineConfig(
+            dataset=dataset,
+            extractor=extractor,
+            spec=spec or WindowSpec(4.0, 1.0),
+            method=method,
+            grid_step=grid_step,
+            chunk_s=chunk_s,
+            cache_capacity=cache_capacity,
+            min_overlap=min_overlap,
+        )
+        #: Serial/thread context, built lazily and reused across runs so
+        #: the feature cache persists in-process.
+        self._context: _WorkerContext | None = None
+
+    # ------------------------------------------------------------------
+    def _local_context(self) -> _WorkerContext:
+        if self._context is None:
+            self._context = _WorkerContext(self.config)
+        return self._context
+
+    def cache_stats(self) -> dict[str, int]:
+        """Feature-cache counters of the in-process context (serial and
+        thread runs; process workers keep their own caches)."""
+        return self._local_context().cache.stats()
+
+    # ------------------------------------------------------------------
+    def effective_workers(self, n_tasks: int, executor: str | None = None) -> int:
+        """Workers a run of ``n_tasks`` will actually use (pool size is
+        capped by the task count; the serial path uses exactly one)."""
+        kind = executor or self.executor
+        if kind == "serial":
+            return 1
+        return max(1, min(self.max_workers, n_tasks))
+
+    def run(
+        self,
+        tasks: tuple[RecordTask, ...] | list[RecordTask] | None = None,
+        *,
+        samples_per_seizure: int = 1,
+        patient_ids: list[int] | tuple[int, ...] | None = None,
+        duration_range_s: tuple[float, float] | None = None,
+        executor: str | None = None,
+    ) -> CohortReport:
+        """Process a work list (or the enumerated cohort) and aggregate.
+
+        With no explicit ``tasks``, the Sec. VI-A work list is built via
+        :func:`~repro.engine.tasks.cohort_tasks` from the keyword knobs.
+        ``executor`` overrides the configured kind for this call only —
+        the engine itself is never mutated, so concurrent runs with
+        different kinds cannot interfere.
+        """
+        if executor is None:
+            executor = self.executor
+        elif executor not in _EXECUTORS:
+            raise EngineError(
+                f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if tasks is None:
+            tasks = cohort_tasks(
+                self.config.dataset,
+                samples_per_seizure=samples_per_seizure,
+                patient_ids=patient_ids,
+                duration_range_s=duration_range_s,
+            )
+        tasks = tuple(tasks)
+        if not tasks:
+            raise EngineError("empty task list: nothing to execute")
+
+        n_workers = self.effective_workers(len(tasks), executor)
+        if executor == "serial" or n_workers == 1:
+            context = self._local_context()
+            outcomes = [context.process(task) for task in tasks]
+        elif executor == "thread":
+            context = self._local_context()
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                outcomes = list(pool.map(context.process, tasks))
+        else:
+            with ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_worker,
+                initargs=(self.config,),
+            ) as pool:
+                outcomes = list(pool.map(_run_task, tasks))
+        return CohortReport.from_outcomes(outcomes)
+
+    def run_sequential(
+        self,
+        tasks: tuple[RecordTask, ...] | list[RecordTask] | None = None,
+        **kwargs,
+    ) -> CohortReport:
+        """The reference path: same pipeline, one task at a time, no pool.
+
+        Exists so callers (parity tests, the scaling bench) can name the
+        baseline explicitly instead of re-configuring the engine.
+        """
+        return self.run(tasks, executor="serial", **kwargs)

@@ -1,0 +1,196 @@
+"""Structured results of one cohort run (Table I/II-style aggregation).
+
+The engine reduces every record to a :class:`RecordOutcome` — the
+labeling deviations (Table I's delta / delta_norm) plus the window-level
+sensitivity / specificity / geometric mean of treating the a-posteriori
+label as a window classifier against the expert annotation.  Outcomes
+roll up into per-patient :class:`PatientSummary` rows and a cohort-level
+:class:`CohortReport`.
+
+The deviation rollup follows the paper's Sec. VI-A protocol verbatim by
+delegating to :mod:`repro.core.aggregation`: per-seizure (mean delta,
+geometric-mean delta_norm) across that seizure's samples, then medians
+across seizures — so at ``samples_per_seizure > 1`` the engine reports
+the same Table I numbers the sequential evaluation harness would.  The
+sensitivity/specificity columns are an engine extension (the paper only
+scores the real-time detector this way) and aggregate as plain means
+over records.
+
+Determinism contract: the report is a pure function of the sorted
+outcome set.  It deliberately carries no wall-clock, worker-count, or
+host information, so the same seeded cohort serializes byte-identically
+regardless of how the work was scheduled — the property the parity and
+determinism tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from ..core.aggregation import aggregate_cohort, score_seizure
+from ..exceptions import EngineError
+
+__all__ = ["RecordOutcome", "PatientSummary", "CohortReport"]
+
+
+@dataclass(frozen=True)
+class RecordOutcome:
+    """Everything the engine keeps from processing one record."""
+
+    patient_id: int
+    seizure_index: int
+    sample_index: int
+    record_id: str
+    duration_s: float
+    n_windows: int
+    #: Expert annotation (ground truth) in record seconds.
+    truth_onset_s: float
+    truth_offset_s: float
+    #: Algorithm 1's label in record seconds.
+    onset_s: float
+    offset_s: float
+    #: Eq. 1 / Eq. 2 deviations against the expert annotation.
+    delta_s: float
+    delta_norm: float
+    #: Window-level classification of the a-posteriori label vs truth.
+    sensitivity: float
+    specificity: float
+    geometric_mean: float
+
+    @property
+    def key(self) -> tuple[int, int, int]:
+        return (self.patient_id, self.seizure_index, self.sample_index)
+
+
+@dataclass(frozen=True)
+class PatientSummary:
+    """One Table I/II-style row: a patient's aggregate over its records.
+
+    ``median_delta_s`` / ``median_delta_norm`` are the Sec. VI-A
+    protocol values (medians across seizures of the per-seizure sample
+    aggregates); the classification columns are means over records.
+    """
+
+    patient_id: int
+    n_records: int
+    median_delta_s: float
+    median_delta_norm: float
+    mean_sensitivity: float
+    mean_specificity: float
+    geometric_mean: float
+
+
+@dataclass(frozen=True)
+class CohortReport:
+    """Cohort-level rollup plus the full per-record breakdown."""
+
+    outcomes: tuple[RecordOutcome, ...]
+    patients: tuple[PatientSummary, ...]
+    median_delta_s: float
+    median_delta_norm: float
+    mean_sensitivity: float
+    mean_specificity: float
+    geometric_mean: float
+
+    @classmethod
+    def from_outcomes(cls, outcomes) -> "CohortReport":
+        """Aggregate outcomes (any order) into the canonical report."""
+        ordered = tuple(sorted(outcomes, key=lambda o: o.key))
+        if not ordered:
+            raise EngineError("no record outcomes to aggregate")
+
+        # Sec. VI-A deviation protocol, via the existing machinery:
+        # per-seizure sample aggregates -> per-patient and cohort medians.
+        per_seizure: dict[tuple[int, int], tuple[list, list]] = {}
+        by_patient: dict[int, list[RecordOutcome]] = {}
+        for out in ordered:
+            deltas, norms = per_seizure.setdefault(
+                (out.patient_id, out.seizure_index), ([], [])
+            )
+            deltas.append(out.delta_s)
+            norms.append(out.delta_norm)
+            by_patient.setdefault(out.patient_id, []).append(out)
+        cohort = aggregate_cohort(
+            score_seizure(pid, sid, deltas, norms)
+            for (pid, sid), (deltas, norms) in sorted(per_seizure.items())
+        )
+
+        patients = []
+        for pid in sorted(by_patient):
+            outs = by_patient[pid]
+            paper = cohort.patient(pid)
+            sens = float(np.mean([o.sensitivity for o in outs]))
+            spec = float(np.mean([o.specificity for o in outs]))
+            patients.append(
+                PatientSummary(
+                    patient_id=pid,
+                    n_records=len(outs),
+                    median_delta_s=paper.median_delta_s,
+                    median_delta_norm=paper.median_delta_norm,
+                    mean_sensitivity=sens,
+                    mean_specificity=spec,
+                    geometric_mean=float(np.sqrt(sens * spec)),
+                )
+            )
+
+        sens = float(np.mean([o.sensitivity for o in ordered]))
+        spec = float(np.mean([o.specificity for o in ordered]))
+        return cls(
+            outcomes=ordered,
+            patients=tuple(patients),
+            median_delta_s=cohort.median_delta_s,
+            median_delta_norm=cohort.median_delta_norm,
+            mean_sensitivity=sens,
+            mean_specificity=spec,
+            geometric_mean=float(np.sqrt(sens * spec)),
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return len(self.outcomes)
+
+    def patient(self, patient_id: int) -> PatientSummary:
+        for p in self.patients:
+            if p.patient_id == patient_id:
+                return p
+        raise EngineError(f"no patient {patient_id} in cohort report")
+
+    def to_dict(self) -> dict:
+        """Plain-data view (dataclasses expanded, tuples to lists)."""
+        return {
+            "outcomes": [asdict(o) for o in self.outcomes],
+            "patients": [asdict(p) for p in self.patients],
+            "median_delta_s": self.median_delta_s,
+            "median_delta_norm": self.median_delta_norm,
+            "mean_sensitivity": self.mean_sensitivity,
+            "mean_specificity": self.mean_specificity,
+            "geometric_mean": self.geometric_mean,
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialization: sorted keys, fixed separators.
+
+        Two runs over the same seeded cohort produce byte-identical
+        strings — float formatting is ``repr``-exact, and no
+        scheduling-dependent field exists to differ.
+        """
+        return json.dumps(self.to_dict(), sort_keys=True, separators=(",", ":"))
+
+    def table_rows(self) -> list[dict]:
+        """Per-patient rows for CLI/bench table rendering."""
+        return [
+            {
+                "patient": p.patient_id,
+                "records": p.n_records,
+                "median_delta_s": p.median_delta_s,
+                "median_delta_norm": p.median_delta_norm,
+                "sensitivity": p.mean_sensitivity,
+                "specificity": p.mean_specificity,
+                "geometric_mean": p.geometric_mean,
+            }
+            for p in self.patients
+        ]

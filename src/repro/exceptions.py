@@ -31,6 +31,11 @@ class DataError(ReproError):
     """Raised for invalid synthetic-data configuration or corrupt EDF files."""
 
 
+class EngineError(ReproError):
+    """Raised by the cohort execution engine for invalid configuration or
+    empty work sets (bad worker counts, unknown executor kinds, no tasks)."""
+
+
 class ModelError(ReproError):
     """Raised by the ML substrate (tree / forest / clustering) on misuse,
     e.g. predicting before fitting."""

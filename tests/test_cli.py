@@ -68,6 +68,79 @@ class TestLabel:
         assert code == 0
 
 
+class TestCohort:
+    def test_runs_and_prints_table(self, capsys, tmp_path):
+        out_json = tmp_path / "report.json"
+        code = main(
+            [
+                "cohort",
+                "--patients", "8",
+                "--samples", "1",
+                "--duration-min", "5",
+                "--duration-max", "6",
+                "--executor", "serial",
+                "--json", str(out_json),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "patient" in out and "gmean" in out
+        assert "cohort: 4 records" in out  # patient 8 has 4 seizures
+        assert out_json.exists()
+        payload = out_json.read_text()
+        assert '"patients":' in payload
+
+    def test_invalid_duration_range_errors(self):
+        code = main(["cohort", "--duration-min", "9", "--duration-max", "5"])
+        assert code == 2
+
+    def test_bad_patient_list_errors(self):
+        code = main(["cohort", "--patients", "eight"])
+        assert code == 2
+
+    def test_bad_samples_errors(self):
+        code = main(["cohort", "--samples", "0"])
+        assert code == 2
+
+    def test_unknown_patient_id_errors_cleanly(self, capsys):
+        code = main(["cohort", "--patients", "99"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "unknown patient ids" in err
+
+    def test_zero_workers_errors_cleanly(self, capsys):
+        code = main(["cohort", "--workers", "0"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "max_workers" in err
+
+    def test_nan_duration_errors_cleanly(self, capsys):
+        # NaN slips past the CLI's own range comparisons (all False) but
+        # fails the dataset's validation; that DataError must surface as
+        # a clean error too.
+        code = main(["cohort", "--duration-min", "nan", "--duration-max", "nan"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err
+
+    def test_data_error_from_run_errors_cleanly(self, capsys):
+        # Passes CLI validation, but the records are far too short to
+        # host patient 8's ~50 s seizures: the DataError raised inside
+        # the run must surface as a clean error, not a traceback.
+        code = main(
+            [
+                "cohort",
+                "--patients", "8",
+                "--duration-min", "0.5",
+                "--duration-max", "1",
+                "--executor", "serial",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "error:" in err and "too short" in err
+
+
 class TestLifetime:
     def test_full_system(self, capsys):
         code = main(["lifetime", "--seizures-per-day", "1.0"])

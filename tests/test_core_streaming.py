@@ -51,6 +51,20 @@ class TestStreamingExtractor:
         out = stream.push(np.zeros((2, 512)))  # 2 s < 4 s window
         assert out.shape[0] == 0
 
+    def test_finalize_returns_total_windows(self):
+        rng = np.random.default_rng(8)
+        stream = StreamingFeatureExtractor(fs=FS)
+        stream.push(rng.standard_normal((2, int(6.0 * FS))))
+        assert stream.finalize() == 3  # 6 s -> windows at t = 0, 1, 2
+
+    def test_finalize_short_stream_raises(self):
+        # A stream shorter than one window must error like the batch
+        # path, never end silently with zero rows emitted.
+        stream = StreamingFeatureExtractor(fs=FS)
+        stream.push(np.zeros((2, 512)))  # 2 s < 4 s window
+        with pytest.raises(FeatureError, match="shorter than one"):
+            stream.finalize()
+
     def test_buffer_stays_bounded(self):
         stream = StreamingFeatureExtractor(fs=FS)
         for _ in range(50):

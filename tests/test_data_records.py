@@ -125,3 +125,19 @@ class TestMasks:
     def test_no_annotations_all_zero(self):
         rec = make_record(20.0)
         assert rec.window_labels(4.0, 1.0).sum() == 0
+
+    def test_window_labels_fractional_step(self):
+        # Sub-second and non-integer steps must count windows exactly
+        # ((duration - window) // step + 1), not via int() truncation
+        # of the step (which crashed with ZeroDivisionError for 0.5 s).
+        rec = make_record(10.0, [SeizureAnnotation(2.0, 6.0)])
+        half = rec.window_labels(window_s=4.0, step_s=0.5)
+        assert half.size == 13  # (10 - 4) / 0.5 + 1
+        assert half[4] == 1  # window [2, 6) fully ictal
+        sesqui = rec.window_labels(window_s=4.0, step_s=1.5)
+        assert sesqui.size == 5  # floor((10 - 4) / 1.5) + 1
+
+    def test_window_labels_nonpositive_step_rejected(self):
+        rec = make_record(10.0)
+        with pytest.raises(DataError):
+            rec.window_labels(4.0, 0.0)

@@ -1,0 +1,341 @@
+"""Parity suite: the cohort engine equals the sequential pipeline.
+
+The engine's core contract is that fanning the per-record pipeline out
+across workers changes *nothing* about the results: same feature
+matrices (chunked == batch extraction), same labels, same detection
+metrics, for any worker count.  These tests pin that contract on a
+synthetic multi-patient cohort, and lock down the short-record edge
+case (FeatureError, never silent zero-row output) across the engine,
+streaming and batch extraction paths.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.aggregation import aggregate_cohort, score_seizure
+from repro.core.deviation import deviation, normalized_deviation
+from repro.core.labeling import APosterioriLabeler
+from repro.core.streaming import StreamingFeatureExtractor
+from repro.data.records import EEGRecord
+from repro.engine import (
+    CohortEngine,
+    CohortReport,
+    FeatureCache,
+    RecordOutcome,
+    RecordTask,
+    cohort_tasks,
+    extract_features_chunked,
+)
+from repro.exceptions import EngineError, FeatureError
+from repro.features.extraction import extract_features
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.ml.metrics import classification_report
+from repro.signals.windowing import WindowSpec
+
+FS = 256.0
+
+#: A small multi-patient cohort: two patients, two records each.
+COHORT_TASKS = (
+    RecordTask(1, 0, 0),
+    RecordTask(1, 1, 0),
+    RecordTask(8, 0, 0),
+    RecordTask(8, 3, 0),
+)
+
+
+def sequential_outcome(dataset, task):
+    """The pre-engine per-record pipeline, written out longhand."""
+    record = dataset.generate_sample(
+        task.patient_id, task.seizure_index, task.sample_index
+    )
+    labeler = APosterioriLabeler()
+    result = labeler.label(
+        record, dataset.mean_seizure_duration(task.patient_id)
+    )
+    truth = record.annotations[0]
+    ann = result.annotation
+    spec = labeler.spec
+    truth_labels = record.window_labels(spec.length_s, spec.step_s, 0.5)
+    pred_labels = np.zeros(result.features.n_windows, dtype=np.int64)
+    for i in range(pred_labels.size):
+        t0 = i * spec.step_s
+        if ann.intersection_s(t0, t0 + spec.length_s) >= 0.5 * spec.length_s:
+            pred_labels[i] = 1
+    n = min(truth_labels.size, pred_labels.size)
+    scores = classification_report(truth_labels[:n], pred_labels[:n])
+    return {
+        "features": result.features.values,
+        "onset_s": ann.onset_s,
+        "offset_s": ann.offset_s,
+        "delta_s": deviation(truth, ann),
+        "delta_norm": normalized_deviation(truth, ann, record.duration_s),
+        "sensitivity": scores.sensitivity,
+        "specificity": scores.specificity,
+        "geometric_mean": scores.geometric_mean,
+    }
+
+
+@pytest.fixture(scope="module")
+def expected(dataset):
+    """Sequential-pipeline ground truth for every cohort task."""
+    return {t.key: sequential_outcome(dataset, t) for t in COHORT_TASKS}
+
+
+class TestChunkedEqualsBatch:
+    """The engine's record path is bit-identical to batch extraction."""
+
+    @pytest.mark.parametrize("chunk_s", [2.5, 7.0, 60.0, 1e6])
+    def test_exact_equality(self, sample_record, chunk_s):
+        extractor = Paper10FeatureExtractor()
+        batch = extract_features(sample_record, extractor)
+        chunked = extract_features_chunked(
+            sample_record, extractor, chunk_s=chunk_s
+        )
+        assert chunked.values.shape == batch.values.shape
+        assert np.array_equal(chunked.values, batch.values)
+        assert chunked.feature_names == batch.feature_names
+
+    def test_bad_chunk_size_rejected(self, sample_record):
+        with pytest.raises(FeatureError, match="chunk_s"):
+            extract_features_chunked(sample_record, chunk_s=0.0)
+
+
+class TestEngineParity:
+    """Engine output == sequential pipeline, at workers=1 and workers=4."""
+
+    def check_report(self, report, expected):
+        assert len(report.outcomes) == len(COHORT_TASKS)
+        for out in report.outcomes:
+            want = expected[(out.patient_id, out.seizure_index, out.sample_index)]
+            assert out.onset_s == want["onset_s"]
+            assert out.offset_s == want["offset_s"]
+            assert out.delta_s == want["delta_s"]
+            assert out.delta_norm == want["delta_norm"]
+            assert out.sensitivity == want["sensitivity"]
+            assert out.specificity == want["specificity"]
+            assert out.geometric_mean == want["geometric_mean"]
+            assert out.n_windows == want["features"].shape[0]
+
+    def test_workers_1(self, dataset, expected):
+        engine = CohortEngine(dataset, max_workers=1, executor="process")
+        self.check_report(engine.run(COHORT_TASKS), expected)
+
+    def test_workers_4_process(self, dataset, expected):
+        engine = CohortEngine(dataset, max_workers=4, executor="process")
+        self.check_report(engine.run(COHORT_TASKS), expected)
+
+    def test_workers_4_thread(self, dataset, expected):
+        engine = CohortEngine(dataset, max_workers=4, executor="thread")
+        self.check_report(engine.run(COHORT_TASKS), expected)
+
+    def test_run_sequential_matches(self, dataset, expected):
+        engine = CohortEngine(dataset, max_workers=4, executor="process")
+        self.check_report(engine.run_sequential(COHORT_TASKS), expected)
+        # run_sequential must not clobber the configured execution mode.
+        assert engine.executor == "process"
+        assert engine.max_workers == 4
+
+
+class TestEngineValidation:
+    def test_unknown_executor(self, dataset):
+        with pytest.raises(EngineError, match="executor"):
+            CohortEngine(dataset, executor="fleet")
+
+    def test_bad_worker_count(self, dataset):
+        with pytest.raises(EngineError, match="max_workers"):
+            CohortEngine(dataset, max_workers=0)
+
+    def test_empty_task_list(self, dataset):
+        with pytest.raises(EngineError, match="empty task list"):
+            CohortEngine(dataset, executor="serial").run(())
+
+    def test_run_rejects_unknown_executor_override(self, dataset):
+        with pytest.raises(EngineError, match="executor"):
+            CohortEngine(dataset, executor="serial").run(
+                COHORT_TASKS, executor="fleet"
+            )
+
+    def test_effective_workers(self, dataset):
+        engine = CohortEngine(dataset, max_workers=8, executor="process")
+        assert engine.effective_workers(3) == 3  # capped by task count
+        assert engine.effective_workers(20) == 8
+        assert engine.effective_workers(20, executor="serial") == 1
+
+    def test_unknown_patient_in_work_list(self, dataset):
+        with pytest.raises(EngineError, match="unknown patient"):
+            cohort_tasks(dataset, patient_ids=[99])
+
+    def test_task_enumeration_is_canonical(self, dataset):
+        tasks = cohort_tasks(dataset, samples_per_seizure=2, patient_ids=[8])
+        assert [t.key for t in tasks] == sorted(t.key for t in tasks)
+        assert len(tasks) == 2 * dataset.profile(8).n_seizures
+
+    def test_empty_report_rejected(self):
+        with pytest.raises(EngineError, match="no record outcomes"):
+            CohortReport.from_outcomes([])
+
+
+class TestFeatureCache:
+    def test_hit_returns_same_matrix(self, sample_record):
+        cache = FeatureCache(capacity=2)
+        extractor = Paper10FeatureExtractor()
+        spec = WindowSpec(4.0, 1.0)
+        first = cache.get_or_extract(sample_record, extractor, spec)
+        second = cache.get_or_extract(sample_record, extractor, spec)
+        assert second is first
+        assert cache.stats() == {
+            "hits": 1, "misses": 1, "evictions": 0, "size": 1,
+        }
+
+    def test_content_change_is_a_miss(self, sample_record):
+        cache = FeatureCache(capacity=4)
+        extractor = Paper10FeatureExtractor()
+        spec = WindowSpec(4.0, 1.0)
+        cache.get_or_extract(sample_record, extractor, spec)
+        tweaked = EEGRecord(
+            data=sample_record.data + 1.0,
+            fs=sample_record.fs,
+            channel_names=sample_record.channel_names,
+            annotations=list(sample_record.annotations),
+            patient_id=sample_record.patient_id,
+            record_id=sample_record.record_id,  # same id, different data
+        )
+        cache.get_or_extract(tweaked, extractor, spec)
+        assert cache.stats()["misses"] == 2
+        assert cache.stats()["hits"] == 0
+
+    def test_lru_eviction(self, dataset):
+        cache = FeatureCache(capacity=1)
+        extractor = Paper10FeatureExtractor()
+        spec = WindowSpec(4.0, 1.0)
+        rec_a = dataset.generate_seizure_free(1, 20.0, 0)
+        rec_b = dataset.generate_seizure_free(1, 20.0, 1)
+        cache.get_or_extract(rec_a, extractor, spec)
+        cache.get_or_extract(rec_b, extractor, spec)
+        cache.get_or_extract(rec_a, extractor, spec)
+        stats = cache.stats()
+        assert stats["evictions"] == 2
+        assert stats["misses"] == 3
+        assert stats["size"] == 1
+
+    def test_capacity_validated(self):
+        with pytest.raises(EngineError, match="capacity"):
+            FeatureCache(capacity=0)
+
+    def test_large_array_config_distinguished(self, seizure_free_record):
+        # numpy elides the middle of large-array reprs; the fingerprint
+        # must hash the bytes, not the repr, or configs differing only
+        # mid-array would collide.
+        from repro.engine import feature_cache_key
+
+        class ArrayConfigExtractor(Paper10FeatureExtractor):
+            def __init__(self, weights):
+                super().__init__()
+                self.weights = weights
+
+        w1 = np.zeros(2000)
+        w2 = np.zeros(2000)
+        w2[1000] = 1.0
+        spec = WindowSpec(4.0, 1.0)
+        key1 = feature_cache_key(
+            seizure_free_record, ArrayConfigExtractor(w1), spec
+        )
+        key2 = feature_cache_key(
+            seizure_free_record, ArrayConfigExtractor(w2), spec
+        )
+        assert key1 != key2
+
+    def test_extractor_config_is_part_of_key(self, seizure_free_record):
+        # Same class, same feature names, different configuration: the
+        # two must never hit each other's entries.
+        cache = FeatureCache(capacity=4)
+        spec = WindowSpec(4.0, 1.0)
+        a = cache.get_or_extract(
+            seizure_free_record, Paper10FeatureExtractor(renyi_alpha=2.0), spec
+        )
+        b = cache.get_or_extract(
+            seizure_free_record, Paper10FeatureExtractor(renyi_alpha=1.5), spec
+        )
+        assert cache.stats()["hits"] == 0
+        assert cache.stats()["misses"] == 2
+        assert not np.array_equal(a.values, b.values)
+
+
+class TestPaperProtocolRollup:
+    """Multi-sample aggregation must match repro.core.aggregation."""
+
+    @staticmethod
+    def outcome(pid, sid, sample, delta, norm):
+        return RecordOutcome(
+            patient_id=pid,
+            seizure_index=sid,
+            sample_index=sample,
+            record_id=f"P{pid}_S{sid}_R{sample}",
+            duration_s=600.0,
+            n_windows=597,
+            truth_onset_s=100.0,
+            truth_offset_s=150.0,
+            onset_s=100.0 + delta,
+            offset_s=150.0 + delta,
+            delta_s=delta,
+            delta_norm=norm,
+            sensitivity=0.9,
+            specificity=0.95,
+            geometric_mean=0.924,
+        )
+
+    def test_samples_gt_one_follows_sec_via(self):
+        outcomes = [
+            self.outcome(1, 0, 0, 4.0, 0.99),
+            self.outcome(1, 0, 1, 8.0, 0.97),
+            self.outcome(1, 1, 0, 20.0, 0.90),
+            self.outcome(1, 1, 1, 40.0, 0.80),
+            self.outcome(2, 0, 0, 2.0, 0.995),
+            self.outcome(2, 0, 1, 6.0, 0.985),
+        ]
+        report = CohortReport.from_outcomes(outcomes)
+        expected = aggregate_cohort(
+            [
+                score_seizure(1, 0, [4.0, 8.0], [0.99, 0.97]),
+                score_seizure(1, 1, [20.0, 40.0], [0.90, 0.80]),
+                score_seizure(2, 0, [2.0, 6.0], [0.995, 0.985]),
+            ]
+        )
+        assert report.median_delta_s == expected.median_delta_s
+        assert report.median_delta_norm == expected.median_delta_norm
+        for patient in report.patients:
+            want = expected.patient(patient.patient_id)
+            assert patient.median_delta_s == want.median_delta_s
+            assert patient.median_delta_norm == want.median_delta_norm
+
+
+class TestShortRecordContract:
+    """Records shorter than one window raise FeatureError on every path."""
+
+    def short_record(self):
+        rng = np.random.default_rng(7)
+        return EEGRecord(data=rng.standard_normal((2, int(2.0 * FS))), fs=FS)
+
+    def test_batch_extraction_raises(self):
+        with pytest.raises(FeatureError, match="shorter than one"):
+            extract_features(self.short_record(), Paper10FeatureExtractor())
+
+    def test_chunked_extraction_raises(self):
+        with pytest.raises(FeatureError, match="shorter than one"):
+            extract_features_chunked(self.short_record())
+
+    def test_cache_path_raises_and_caches_nothing(self):
+        cache = FeatureCache(capacity=2)
+        with pytest.raises(FeatureError, match="shorter than one"):
+            cache.get_or_extract(
+                self.short_record(), Paper10FeatureExtractor(), WindowSpec(4.0, 1.0)
+            )
+        assert len(cache) == 0
+
+    def test_streaming_finalize_raises(self):
+        stream = StreamingFeatureExtractor(fs=FS)
+        rows = stream.push(self.short_record().data)
+        assert rows.shape[0] == 0
+        with pytest.raises(FeatureError, match="shorter than one"):
+            stream.finalize()
+

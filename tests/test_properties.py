@@ -17,7 +17,10 @@ from repro.core.algorithm import a_posteriori_reference
 from repro.core.deviation import deviation, normalized_deviation
 from repro.core.fast import a_posteriori_fast
 from repro.core.aggregation import geometric_mean
-from repro.data.records import SeizureAnnotation
+from repro.data.records import EEGRecord, SeizureAnnotation
+from repro.engine import extract_features_chunked
+from repro.features.base import FeatureExtractor
+from repro.features.extraction import extract_features
 from repro.entropy.permutation import permutation_entropy
 from repro.entropy.renyi import renyi_entropy
 from repro.entropy.shannon import shannon_entropy
@@ -128,6 +131,93 @@ class TestAlgorithmProperties:
         b = a_posteriori_fast(y, 8)
         assert a.position == b.position
         assert np.allclose(a.distances, b.distances, atol=1e-8)
+
+
+#: Low sampling rate keeps hypothesis-driven extraction cheap while the
+#: window geometry (4 s / 1 s) stays the paper's.
+_FS_SMALL = 32.0
+
+
+class _CheapStatsExtractor(FeatureExtractor):
+    """Three O(n) features — fast enough to window under hypothesis."""
+
+    @property
+    def feature_names(self) -> tuple[str, ...]:
+        return ("mean", "std", "ptp")
+
+    def extract_window(self, window, fs):
+        window = self._check_window(window)
+        return np.array(
+            [window.mean(), window.std(), float(window.max() - window.min())]
+        )
+
+
+def _random_record(seed: int, duration_s: float) -> EEGRecord:
+    rng = np.random.default_rng(seed)
+    n = int(duration_s * _FS_SMALL)
+    return EEGRecord(data=rng.standard_normal((2, n)), fs=_FS_SMALL)
+
+
+class TestEngineChunkedProperties:
+    """The engine's chunked invocation preserves every core equivalence."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        duration=st.floats(min_value=4.0, max_value=40.0),
+        chunk_s=st.floats(min_value=0.5, max_value=50.0),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_chunked_extraction_matches_batch(self, seed, duration, chunk_s):
+        record = _random_record(seed, duration)
+        extractor = _CheapStatsExtractor()
+        batch = extract_features(record, extractor)
+        chunked = extract_features_chunked(record, extractor, chunk_s=chunk_s)
+        assert chunked.values.shape == batch.values.shape
+        assert np.array_equal(chunked.values, batch.values)
+
+    @given(
+        data=st.data(),
+        seed=st.integers(min_value=0, max_value=2**31),
+        duration=st.floats(min_value=8.0, max_value=60.0),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_fast_equals_reference_under_chunked_invocation(
+        self, data, seed, duration
+    ):
+        record = _random_record(seed, duration)
+        chunk_s = data.draw(st.floats(min_value=1.0, max_value=30.0))
+        feats = extract_features_chunked(
+            record, _CheapStatsExtractor(), chunk_s=chunk_s
+        ).values
+        length = feats.shape[0]
+        # W up to L - 1 includes the degenerate single-candidate search.
+        window = data.draw(st.integers(min_value=1, max_value=length - 1))
+        grid_step = data.draw(st.integers(min_value=1, max_value=6))
+        ref = a_posteriori_reference(feats, window, grid_step=grid_step)
+        fast = a_posteriori_fast(feats, window, grid_step=grid_step)
+        assert fast.position == ref.position
+        assert np.allclose(fast.distances, ref.distances, atol=1e-9)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        duration=st.floats(min_value=5.0, max_value=20.0),
+        grid_step=st.integers(min_value=1, max_value=6),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_degenerate_single_window_record(self, seed, duration, grid_step):
+        # L = W + 1: exactly one candidate window.  Both implementations
+        # must survive the degenerate geometry and agree on the single
+        # distance instead of erroring or disagreeing on normalization.
+        feats = extract_features_chunked(
+            _random_record(seed, duration), _CheapStatsExtractor(), chunk_s=3.0
+        ).values
+        window = feats.shape[0] - 1
+        ref = a_posteriori_reference(feats, window, grid_step=grid_step)
+        fast = a_posteriori_fast(feats, window, grid_step=grid_step)
+        assert ref.position == 0
+        assert fast.position == 0
+        assert ref.distances.size == 1
+        assert np.allclose(fast.distances, ref.distances, atol=1e-9)
 
 
 class TestMetricProperties:
