@@ -47,8 +47,11 @@ from .core import (
 from .engine import (
     CohortEngine,
     CohortReport,
+    DiskFeatureStore,
     FeatureCache,
     RecordTask,
+    SelfLearningDriver,
+    SelfLearningTask,
     cohort_tasks,
     extract_features_chunked,
 )
@@ -116,8 +119,11 @@ __all__ = [
     # engine
     "CohortEngine",
     "CohortReport",
+    "DiskFeatureStore",
     "FeatureCache",
     "RecordTask",
+    "SelfLearningDriver",
+    "SelfLearningTask",
     "cohort_tasks",
     "extract_features_chunked",
     # data

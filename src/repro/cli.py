@@ -25,11 +25,23 @@ from .core.deviation import deviation, normalized_deviation
 from .core.labeling import APosterioriLabeler
 from .data.dataset import SyntheticEEGDataset
 from .data.edf import load_record
-from .engine import CohortEngine
+from .data.sampling import (
+    PAPER_DURATION_RANGE_S,
+    duration_range_from_env,
+    samples_per_seizure_from_env,
+)
+from .engine import CohortEngine, default_executor
 from .exceptions import ReproError
 from .platform.battery import WearablePlatform
 
-__all__ = ["build_parser", "main"]
+__all__ = ["build_parser", "main", "resolve_cohort_scale"]
+
+#: The CLI's own cohort defaults (minutes), kept small enough for a
+#: laptop; ``--paper-scale`` / the env knobs switch to Sec. VI-A scale.
+_CLI_DURATION_MIN = 8.0
+_CLI_DURATION_MAX = 15.0
+#: Sec. VI-A: 100 samples for each of the 45 seizures.
+_PAPER_SAMPLES_PER_SEIZURE = 100
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -84,7 +96,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated patient ids (default: the full cohort)",
     )
     p_cohort.add_argument(
-        "--samples", type=int, default=1, help="samples per seizure (default 1)"
+        "--samples",
+        type=int,
+        default=None,
+        help="samples per seizure (default: $REPRO_SAMPLES_PER_SEIZURE, "
+        "else 1; --paper-scale switches the fallback to 100)",
     )
     p_cohort.add_argument(
         "--workers",
@@ -95,20 +111,44 @@ def build_parser() -> argparse.ArgumentParser:
     p_cohort.add_argument(
         "--executor",
         choices=("process", "thread", "serial"),
-        default="process",
-        help="pool kind (default: process)",
+        default=None,
+        help="pool kind (default: $REPRO_ENGINE_EXECUTOR, else process)",
     )
     p_cohort.add_argument(
         "--duration-min",
         type=float,
-        default=8.0,
+        default=None,
         help="minimum record duration in minutes (default 8)",
     )
     p_cohort.add_argument(
         "--duration-max",
         type=float,
-        default=15.0,
-        help="maximum record duration in minutes (default 15)",
+        default=None,
+        help="maximum record duration in minutes (default 15; with no "
+        "explicit durations, $REPRO_PAPER_DURATIONS=1 or --paper-scale "
+        "selects the paper's 30-60 min)",
+    )
+    p_cohort.add_argument(
+        "--paper-scale",
+        action="store_true",
+        help="run the Sec. VI-A protocol at paper scale: 100 samples "
+        "per seizure, 30-60 min records (explicit flags still win)",
+    )
+    p_cohort.add_argument(
+        "--store",
+        default="",
+        metavar="DIR",
+        help="persistent feature store directory; re-runs against the "
+        "same store skip extraction for unchanged records",
+    )
+    p_cohort.add_argument(
+        "--max-failures",
+        type=int,
+        default=0,
+        metavar="N",
+        help="tolerate up to N failed records, reporting them instead "
+        "of erroring (default 0: any failure errors after the full "
+        "work list was attempted; -1: unlimited)",
     )
     p_cohort.add_argument(
         "--json",
@@ -170,11 +210,47 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def resolve_cohort_scale(
+    args: argparse.Namespace,
+) -> tuple[int, tuple[float, float]]:
+    """Resolve (samples_per_seizure, duration_range_s) for ``cohort``.
+
+    Precedence, per knob: explicit CLI flag > environment variable
+    (:envvar:`REPRO_SAMPLES_PER_SEIZURE` / :envvar:`REPRO_PAPER_DURATIONS`)
+    > ``--paper-scale``'s Sec. VI-A values > the CLI's laptop defaults.
+    Raises ``ValueError`` on a non-positive env sample count; range
+    validity is checked by the caller (NaN handling stays with the
+    dataset).
+    """
+    samples = args.samples
+    if samples is None:
+        samples = samples_per_seizure_from_env(
+            _PAPER_SAMPLES_PER_SEIZURE if args.paper_scale else 1
+        )
+    fallback = (
+        PAPER_DURATION_RANGE_S
+        if args.paper_scale
+        else (_CLI_DURATION_MIN * 60.0, _CLI_DURATION_MAX * 60.0)
+    )
+    fallback = duration_range_from_env(fallback)
+    # A single explicit bound keeps the resolved (paper or laptop) value
+    # for the other one, so `--paper-scale --duration-max 45` means
+    # 30-45 min, not 8-45.
+    lo = args.duration_min * 60.0 if args.duration_min is not None else fallback[0]
+    hi = args.duration_max * 60.0 if args.duration_max is not None else fallback[1]
+    return samples, (lo, hi)
+
+
 def _cmd_cohort(args: argparse.Namespace) -> int:
-    if args.duration_min <= 0 or args.duration_max < args.duration_min:
+    try:
+        samples, duration_range_s = resolve_cohort_scale(args)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if duration_range_s[0] <= 0 or duration_range_s[1] < duration_range_s[0]:
         print("error: invalid duration range", file=sys.stderr)
         return 2
-    if args.samples < 1:
+    if samples < 1:
         print("error: --samples must be >= 1", file=sys.stderr)
         return 2
     patient_ids = None
@@ -182,25 +258,33 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
         try:
             patient_ids = [int(p) for p in args.patients.split(",") if p.strip()]
         except ValueError:
+            patient_ids = []
+        if not patient_ids:
+            # Covers both unparseable ids and lists that parse to
+            # nothing ("," / ", ,"): a typo'd filter must not run an
+            # empty cohort successfully.
             print(f"error: bad --patients list {args.patients!r}", file=sys.stderr)
             return 2
     try:
-        dataset = SyntheticEEGDataset(
-            duration_range_s=(args.duration_min * 60.0, args.duration_max * 60.0)
-        )
+        executor = args.executor or default_executor()
+        dataset = SyntheticEEGDataset(duration_range_s=duration_range_s)
         engine = CohortEngine(
-            dataset, max_workers=args.workers, executor=args.executor
+            dataset,
+            max_workers=args.workers,
+            executor=executor,
+            store_dir=args.store or None,
         )
         start = time.perf_counter()
         report = engine.run(
-            samples_per_seizure=args.samples, patient_ids=patient_ids
+            samples_per_seizure=samples,
+            patient_ids=patient_ids,
+            max_failures=None if args.max_failures < 0 else args.max_failures,
         )
         elapsed = time.perf_counter() - start
     except ReproError as exc:
         # DataError from the dataset configuration, EngineError for bad
-        # engine configuration, and DataError / LabelingError /
-        # FeatureError surfacing from the workers (e.g. a duration range
-        # too short to host a patient's seizures).
+        # engine configuration or for runs whose failure count exceeds
+        # --max-failures (the message lists the poisoned records).
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -218,9 +302,21 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
         f"{report.median_delta_s:.1f} s, median delta_norm = "
         f"{report.median_delta_norm:.4f}, gmean = {report.geometric_mean:.3f}"
     )
+    if report.n_failures:
+        print(
+            f"failures: {report.n_failures} record(s) tolerated "
+            f"(--max-failures {args.max_failures})",
+            file=sys.stderr,
+        )
+        for failure in report.failures[:10]:
+            print(
+                f"  task {failure.key}: {failure.error}",
+                file=sys.stderr,
+            )
     print(
-        f"executed in {elapsed:.1f} s ({args.executor}, "
-        f"{engine.effective_workers(report.n_records)} worker(s))"
+        f"executed in {elapsed:.1f} s ({executor}, "
+        f"{engine.effective_workers(report.n_records + report.n_failures)} "
+        f"worker(s))"
     )
     if args.json:
         try:

@@ -53,7 +53,12 @@ def samples_per_seizure_from_env(default: int = DEFAULT_SAMPLES_PER_SEIZURE) -> 
     raw = os.environ.get(ENV_SAMPLES, "")
     if not raw:
         return default
-    value = int(raw)
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{ENV_SAMPLES} must be an integer, got {raw!r}"
+        ) from None
     if value < 1:
         raise ValueError(f"{ENV_SAMPLES} must be >= 1, got {value}")
     return value
@@ -64,11 +69,20 @@ def duration_range_from_env(
 ) -> tuple[float, float]:
     """Resolve the record duration range from the environment.
 
-    ``REPRO_PAPER_DURATIONS=1`` selects the paper's 30-60 minutes.
+    ``REPRO_PAPER_DURATIONS=1`` (or ``true``/``yes``, any case) selects
+    the paper's 30-60 minutes.  An unrecognized value raises rather than
+    silently running laptop-sized records through an expensive
+    paper-scale session.
     """
-    if os.environ.get(ENV_PAPER_DURATIONS, "") in ("1", "true", "yes"):
+    raw = os.environ.get(ENV_PAPER_DURATIONS, "").strip().lower()
+    if raw in ("1", "true", "yes", "on"):
         return PAPER_DURATION_RANGE_S
-    return default
+    if raw in ("", "0", "false", "no", "off"):
+        return default
+    raise ValueError(
+        f"{ENV_PAPER_DURATIONS} must be a boolean flag (1/true/yes or "
+        f"0/false/no), got {raw!r}"
+    )
 
 
 def iter_evaluation_samples(

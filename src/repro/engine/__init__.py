@@ -2,34 +2,54 @@
 
 Fans the full per-record pipeline (synthesize -> extract -> label ->
 score) out across :mod:`concurrent.futures` worker pools with chunked,
-memory-bounded feature extraction and an in-process feature cache, while
-guaranteeing results identical to the sequential pipeline for any worker
-count (the equivalence contract the parity tests enforce).
+memory-bounded feature extraction and a two-tier (memory + disk) feature
+cache, while guaranteeing results identical to the sequential pipeline
+for any worker count (the equivalence contract the parity tests
+enforce).  Runs are fault-tolerant — per-task exceptions become report
+rows, not pool aborts — and resumable via the persistent feature store.
 
 * :class:`CohortEngine` — the executor (process / thread / serial);
 * :class:`RecordTask` / :func:`cohort_tasks` — the shardable work list;
-* :class:`CohortReport` — deterministic Table I/II-style aggregation;
+* :class:`CohortReport` — deterministic Table I/II-style aggregation,
+  including the per-task failures section;
 * :func:`extract_features_chunked` — the engine's bounded-memory record
   path, bit-identical to batch extraction;
-* :class:`FeatureCache` — LRU memo keyed by (record, extractor, spec).
+* :class:`FeatureCache` — LRU memo keyed by (record, extractor, spec);
+* :class:`DiskFeatureStore` — its persistent second tier (atomic writes,
+  versioned header, load-or-recompute);
+* :class:`SelfLearningDriver` / :class:`SelfLearningTask` — the closed
+  self-learning loop with its per-record labeling phase fanned out.
 """
 
 from .cache import FeatureCache, feature_cache_key
 from .chunked import DEFAULT_CHUNK_S, extract_features_chunked
-from .executor import CohortEngine, EngineConfig
+from .executor import (
+    ENV_EXECUTOR,
+    CohortEngine,
+    EngineConfig,
+    default_executor,
+)
 from .report import CohortReport, PatientSummary, RecordOutcome
+from .selflearning import SelfLearningDriver, SelfLearningTask
+from .store import DiskFeatureStore, store_key_digest
 from .tasks import RecordTask, cohort_tasks
 
 __all__ = [
     "DEFAULT_CHUNK_S",
+    "ENV_EXECUTOR",
     "CohortEngine",
     "CohortReport",
+    "DiskFeatureStore",
     "EngineConfig",
     "FeatureCache",
     "PatientSummary",
     "RecordOutcome",
     "RecordTask",
+    "SelfLearningDriver",
+    "SelfLearningTask",
     "cohort_tasks",
+    "default_executor",
     "extract_features_chunked",
     "feature_cache_key",
+    "store_key_digest",
 ]

@@ -93,12 +93,20 @@ class FeatureCache:
         Maximum number of feature matrices retained.  At the paper
         geometry one hour of features is ~280 kB (3600 x 10 float64), so
         even generous capacities stay far below one record's raw signal.
+    store:
+        Optional second tier (a
+        :class:`~repro.engine.store.DiskFeatureStore`): memory misses
+        consult the store before extracting, and fresh extractions are
+        persisted, so the cache survives process restarts and LRU
+        eviction.  The store's load-or-recompute contract keeps a broken
+        entry from ever surfacing here.
     """
 
-    def __init__(self, capacity: int = 8) -> None:
+    def __init__(self, capacity: int = 8, store=None) -> None:
         if capacity < 1:
             raise EngineError(f"cache capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.store = store
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -135,21 +143,38 @@ class FeatureCache:
                 self.hits += 1
                 return cached
             self.misses += 1
-        feats = extract_features_chunked(record, extractor, spec, chunk_s)
+        feats = None
+        if self.store is not None:
+            feats = self.store.load(key)
+        if feats is None:
+            feats = extract_features_chunked(record, extractor, spec, chunk_s)
+            if self.store is not None:
+                self.store.save(key, feats)
+        self._insert(key, feats)
+        return feats
+
+    def _insert(self, key: tuple, feats: FeatureMatrix) -> None:
         with self._lock:
             self._entries[key] = feats
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
                 self.evictions += 1
-        return feats
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/eviction counters plus current size."""
+        """Hit/miss/eviction counters plus current size.
+
+        With a disk tier attached, its counters appear under a nested
+        ``"store"`` key — a memory miss followed by a store hit means the
+        matrix was restored from disk without extraction.
+        """
         with self._lock:
-            return {
+            out = {
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "size": len(self._entries),
             }
+        if self.store is not None:
+            out["store"] = self.store.stats()
+        return out

@@ -15,6 +15,16 @@ the produced :class:`~repro.engine.report.CohortReport` is identical —
 byte-for-byte in its JSON form — for any worker count, executor kind, or
 scheduling interleaving.  The parity/determinism test suites enforce
 this against the sequential per-record pipeline.
+
+Fault tolerance
+---------------
+A task whose pipeline raises is captured as a failure outcome (the
+exception text is itself deterministic), so one poisoned record costs
+one row in :attr:`CohortReport.failures` instead of the whole run; the
+``max_failures`` policy restores strictness where wanted.  With a
+``store_dir`` configured, extracted feature matrices persist in a
+:class:`~repro.engine.store.DiskFeatureStore`, making interrupted runs
+resumable: the re-run skips extraction for every unchanged record.
 """
 
 from __future__ import annotations
@@ -34,12 +44,34 @@ from ..signals.windowing import WindowSpec
 from .cache import FeatureCache
 from .chunked import DEFAULT_CHUNK_S
 from .report import CohortReport, RecordOutcome
+from .store import DiskFeatureStore
 from .tasks import RecordTask, cohort_tasks
 
-__all__ = ["EngineConfig", "CohortEngine"]
+__all__ = ["EngineConfig", "CohortEngine", "ENV_EXECUTOR", "default_executor"]
 
 #: Supported executor kinds.
 _EXECUTORS = ("process", "thread", "serial")
+
+#: Environment variable selecting the default pool backend (CI runs the
+#: engine suites under both ``process`` and ``thread``).
+ENV_EXECUTOR = "REPRO_ENGINE_EXECUTOR"
+
+
+def default_executor() -> str:
+    """Resolve the default executor kind from the environment.
+
+    An unset/empty variable means ``"process"`` (true parallelism for
+    the numpy/Python mix of the extractors); an unknown value raises
+    rather than silently running on the wrong backend.
+    """
+    raw = os.environ.get(ENV_EXECUTOR, "").strip().lower()
+    if not raw:
+        return "process"
+    if raw not in _EXECUTORS:
+        raise EngineError(
+            f"{ENV_EXECUTOR} must be one of {_EXECUTORS}, got {raw!r}"
+        )
+    return raw
 
 
 @dataclass(frozen=True)
@@ -60,6 +92,11 @@ class EngineConfig:
     #: Window/annotation overlap fraction for the sensitivity/specificity
     #: scoring (same convention as :meth:`EEGRecord.window_labels`).
     min_overlap: float = 0.5
+    #: Directory of the shared disk feature store (``None``: memory-only
+    #: caching).  A path, not a store object, so the config stays small
+    #: and picklable; each worker opens its own handle onto the same
+    #: atomically-written entries.
+    store_dir: str | None = None
 
 
 class _WorkerContext:
@@ -73,7 +110,25 @@ class _WorkerContext:
             method=config.method,
             grid_step=config.grid_step,
         )
-        self.cache = FeatureCache(config.cache_capacity)
+        store = (
+            DiskFeatureStore(config.store_dir) if config.store_dir else None
+        )
+        self.cache = FeatureCache(config.cache_capacity, store=store)
+
+    def process_safe(self, task: RecordTask) -> RecordOutcome:
+        """Run one task, capturing any pipeline exception as a failure
+        outcome instead of letting it tear down the whole pool ``map``.
+
+        The captured message is a pure function of the task (the
+        pipeline is deterministic), so reports containing failures stay
+        byte-identical across executor kinds and worker counts.
+        """
+        try:
+            return self.process(task)
+        except Exception as exc:  # noqa: BLE001 — the poisoned record
+            # may raise anything; KeyboardInterrupt/SystemExit still
+            # propagate and cancel the run.
+            return _failure_outcome(task, exc)
 
     def process(self, task: RecordTask) -> RecordOutcome:
         """Run the full pipeline for one record task."""
@@ -134,6 +189,30 @@ class _WorkerContext:
         )
 
 
+def _failure_outcome(task: RecordTask, exc: Exception) -> RecordOutcome:
+    """A deterministic placeholder outcome for a task whose pipeline
+    raised.  Metrics are zeroed (they never enter aggregation); the
+    coordinates identify the record to retry."""
+    return RecordOutcome(
+        patient_id=task.patient_id,
+        seizure_index=task.seizure_index,
+        sample_index=task.sample_index,
+        record_id="",
+        duration_s=0.0,
+        n_windows=0,
+        truth_onset_s=0.0,
+        truth_offset_s=0.0,
+        onset_s=0.0,
+        offset_s=0.0,
+        delta_s=0.0,
+        delta_norm=0.0,
+        sensitivity=0.0,
+        specificity=0.0,
+        geometric_mean=0.0,
+        error=f"{type(exc).__name__}: {exc}",
+    )
+
+
 # Per-process worker state, installed by the pool initializer.  Module
 # globals (not closures) because process pools can only ship module-level
 # callables.
@@ -147,7 +226,7 @@ def _init_worker(config: EngineConfig) -> None:
 
 def _run_task(task: RecordTask) -> RecordOutcome:
     assert _WORKER is not None, "worker pool initializer did not run"
-    return _WORKER.process(task)
+    return _WORKER.process_safe(task)
 
 
 class CohortEngine:
@@ -161,14 +240,22 @@ class CohortEngine:
     max_workers:
         Pool size (default: the machine's CPU count).
     executor:
-        ``"process"`` (default; true parallelism for the numpy/Python mix
-        of the feature extractors), ``"thread"``, or ``"serial"`` (no
-        pool — the reference path the parity tests compare against).
+        ``"process"`` (true parallelism for the numpy/Python mix of the
+        feature extractors), ``"thread"``, or ``"serial"`` (no pool —
+        the reference path the parity tests compare against).  ``None``
+        (the default) resolves via :envvar:`REPRO_ENGINE_EXECUTOR`,
+        falling back to ``"process"``.
     extractor / spec / method / grid_step:
         Pipeline configuration, as for
         :class:`~repro.core.labeling.APosterioriLabeler`.
     chunk_s / cache_capacity / min_overlap:
         See :class:`EngineConfig`.
+    store_dir:
+        Directory of the persistent feature store.  When set, workers
+        read/write feature matrices there (write-temp-then-rename, so a
+        crashed or concurrent run never corrupts it), and a re-run over
+        unchanged records skips extraction entirely — the resumability
+        half of fault tolerance.
     """
 
     def __init__(
@@ -176,7 +263,7 @@ class CohortEngine:
         dataset: SyntheticEEGDataset,
         *,
         max_workers: int | None = None,
-        executor: str = "process",
+        executor: str | None = None,
         extractor: FeatureExtractor | None = None,
         spec: WindowSpec | None = None,
         method: str = "fast",
@@ -184,7 +271,10 @@ class CohortEngine:
         chunk_s: float = DEFAULT_CHUNK_S,
         cache_capacity: int = 8,
         min_overlap: float = 0.5,
+        store_dir: str | None = None,
     ) -> None:
+        if executor is None:
+            executor = default_executor()
         if executor not in _EXECUTORS:
             raise EngineError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"
@@ -206,6 +296,7 @@ class CohortEngine:
             chunk_s=chunk_s,
             cache_capacity=cache_capacity,
             min_overlap=min_overlap,
+            store_dir=str(store_dir) if store_dir else None,
         )
         #: Serial/thread context, built lazily and reused across runs so
         #: the feature cache persists in-process.
@@ -239,6 +330,7 @@ class CohortEngine:
         patient_ids: list[int] | tuple[int, ...] | None = None,
         duration_range_s: tuple[float, float] | None = None,
         executor: str | None = None,
+        max_failures: int | None = None,
     ) -> CohortReport:
         """Process a work list (or the enumerated cohort) and aggregate.
 
@@ -247,12 +339,27 @@ class CohortEngine:
         ``executor`` overrides the configured kind for this call only —
         the engine itself is never mutated, so concurrent runs with
         different kinds cannot interfere.
+
+        A task whose pipeline raises no longer aborts the run: the
+        exception is captured into a failure outcome and reported under
+        :attr:`CohortReport.failures`.  ``max_failures`` bounds the
+        tolerance — ``None`` (default) accepts any number of *partial*
+        failures, ``0`` restores strictness (any failure raises
+        :class:`EngineError`, after the whole work list has been
+        attempted so the error lists *every* poisoned record, not just
+        the first).  A run where every record failed always raises,
+        whatever the tolerance — a zeroed report must never pass for a
+        measured result.  An empty work list yields an empty report.
         """
         if executor is None:
             executor = self.executor
         elif executor not in _EXECUTORS:
             raise EngineError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"
+            )
+        if max_failures is not None and max_failures < 0:
+            raise EngineError(
+                f"max_failures must be >= 0 or None, got {max_failures}"
             )
         if tasks is None:
             tasks = cohort_tasks(
@@ -263,16 +370,16 @@ class CohortEngine:
             )
         tasks = tuple(tasks)
         if not tasks:
-            raise EngineError("empty task list: nothing to execute")
+            return CohortReport.from_outcomes(())
 
         n_workers = self.effective_workers(len(tasks), executor)
         if executor == "serial" or n_workers == 1:
             context = self._local_context()
-            outcomes = [context.process(task) for task in tasks]
+            outcomes = [context.process_safe(task) for task in tasks]
         elif executor == "thread":
             context = self._local_context()
             with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                outcomes = list(pool.map(context.process, tasks))
+                outcomes = list(pool.map(context.process_safe, tasks))
         else:
             with ProcessPoolExecutor(
                 max_workers=n_workers,
@@ -280,7 +387,24 @@ class CohortEngine:
                 initargs=(self.config,),
             ) as pool:
                 outcomes = list(pool.map(_run_task, tasks))
-        return CohortReport.from_outcomes(outcomes)
+        report = CohortReport.from_outcomes(outcomes)
+        detail = "; ".join(
+            f"task {f.key}: {f.error}" for f in report.failures[:3]
+        )
+        if max_failures is not None and report.n_failures > max_failures:
+            raise EngineError(
+                f"{report.n_failures} of {len(tasks)} records failed "
+                f"(max_failures={max_failures}): {detail}"
+            )
+        if report.n_records == 0 and report.n_failures:
+            # Tolerance is for partial failure; a run where *every*
+            # record failed must never surface as a zeroed report that a
+            # caller could mistake for a measured result.
+            raise EngineError(
+                f"every record failed ({report.n_failures} of "
+                f"{len(tasks)}): {detail}"
+            )
+        return report
 
     def run_sequential(
         self,

@@ -59,10 +59,19 @@ class RecordOutcome:
     sensitivity: float
     specificity: float
     geometric_mean: float
+    #: ``None`` for a processed record; otherwise ``"ExcType: message"``
+    #: for the per-task exception.  Failed outcomes carry zeroed metrics
+    #: and are excluded from every aggregate — they live in
+    #: :attr:`CohortReport.failures`, not :attr:`CohortReport.outcomes`.
+    error: str | None = None
 
     @property
     def key(self) -> tuple[int, int, int]:
         return (self.patient_id, self.seizure_index, self.sample_index)
+
+    @property
+    def failed(self) -> bool:
+        return self.error is not None
 
 
 @dataclass(frozen=True)
@@ -85,9 +94,18 @@ class PatientSummary:
 
 @dataclass(frozen=True)
 class CohortReport:
-    """Cohort-level rollup plus the full per-record breakdown."""
+    """Cohort-level rollup plus the full per-record breakdown.
+
+    ``outcomes`` holds only processed records; tasks whose pipeline
+    raised are collected — in the same canonical order — under
+    ``failures`` and never contribute to any aggregate.  A report with
+    no processed records (empty work list, or every record failed) is
+    valid: the aggregates are defined as 0.0 so the JSON stays strict
+    (no NaN) and byte-stable.
+    """
 
     outcomes: tuple[RecordOutcome, ...]
+    failures: tuple[RecordOutcome, ...]
     patients: tuple[PatientSummary, ...]
     median_delta_s: float
     median_delta_norm: float
@@ -98,9 +116,20 @@ class CohortReport:
     @classmethod
     def from_outcomes(cls, outcomes) -> "CohortReport":
         """Aggregate outcomes (any order) into the canonical report."""
-        ordered = tuple(sorted(outcomes, key=lambda o: o.key))
+        everything = tuple(sorted(outcomes, key=lambda o: o.key))
+        ordered = tuple(o for o in everything if not o.failed)
+        failures = tuple(o for o in everything if o.failed)
         if not ordered:
-            raise EngineError("no record outcomes to aggregate")
+            return cls(
+                outcomes=(),
+                failures=failures,
+                patients=(),
+                median_delta_s=0.0,
+                median_delta_norm=0.0,
+                mean_sensitivity=0.0,
+                mean_specificity=0.0,
+                geometric_mean=0.0,
+            )
 
         # Sec. VI-A deviation protocol, via the existing machinery:
         # per-seizure sample aggregates -> per-patient and cohort medians.
@@ -140,6 +169,7 @@ class CohortReport:
         spec = float(np.mean([o.specificity for o in ordered]))
         return cls(
             outcomes=ordered,
+            failures=failures,
             patients=tuple(patients),
             median_delta_s=cohort.median_delta_s,
             median_delta_norm=cohort.median_delta_norm,
@@ -153,6 +183,10 @@ class CohortReport:
     def n_records(self) -> int:
         return len(self.outcomes)
 
+    @property
+    def n_failures(self) -> int:
+        return len(self.failures)
+
     def patient(self, patient_id: int) -> PatientSummary:
         for p in self.patients:
             if p.patient_id == patient_id:
@@ -163,6 +197,7 @@ class CohortReport:
         """Plain-data view (dataclasses expanded, tuples to lists)."""
         return {
             "outcomes": [asdict(o) for o in self.outcomes],
+            "failures": [asdict(o) for o in self.failures],
             "patients": [asdict(p) for p in self.patients],
             "median_delta_s": self.median_delta_s,
             "median_delta_norm": self.median_delta_norm,

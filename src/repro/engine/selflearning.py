@@ -1,0 +1,156 @@
+"""Self-learning fan-out: the closed loop driven through the engine.
+
+The Fig. 1 loop is stateful *between* records — each monitoring record
+must see the detector the previous records trained — but *within* a
+record the detector is frozen: whether it catches seizure ``k`` and
+where the a-posteriori labeler would place a missed seizure ``k`` are
+pure, independent computations.  :class:`SelfLearningDriver` exploits
+exactly that seam: per-record, every annotation's detector evaluation +
+labeling (:meth:`SelfLearningPipeline.assess_annotation`) fans out
+across a pool, then the assessments are folded into pipeline state —
+buffer, event log, retraining — serially and in canonical order
+(:meth:`SelfLearningPipeline.apply_assessments`).
+
+Because the parallel and sequential paths share those two methods (the
+engine's usual contract-by-sharing), the driver's reports, event logs,
+training buffer, and retrained detector are byte-identical to calling
+``observe_record`` record by record — the self-learning parity suite
+pins this down.
+
+Thread pools only: assessments are numpy-dominated (the GIL is released
+in extraction and forest prediction) and read live pipeline state, which
+cannot be cheaply shipped to—or mutated from—another process.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+from ..data.dataset import SyntheticEEGDataset
+from ..data.records import EEGRecord
+from ..exceptions import EngineError
+from ..selflearning.pipeline import SelfLearningPipeline, SelfLearningReport
+
+__all__ = ["SelfLearningTask", "SelfLearningDriver"]
+
+#: Pool kinds the driver supports (no "process": pipeline state is live).
+_EXECUTORS = ("thread", "serial")
+
+
+@dataclass(frozen=True)
+class SelfLearningTask:
+    """One monitoring record of the closed-loop scenario, by coordinates.
+
+    Like :class:`~repro.engine.tasks.RecordTask`, the task carries only
+    the deterministic generation coordinates, never signal — so a long
+    monitoring scenario is a few hundred bytes of work list that any
+    driver (or a future distributed front-end) can replay.
+    """
+
+    patient_id: int
+    duration_s: float
+    seizure_indices: tuple[int, ...]
+    sample_index: int = 0
+    min_gap_s: float = 600.0
+
+    def __post_init__(self) -> None:
+        # Accept lists for convenience; store the hashable canonical form.
+        object.__setattr__(self, "seizure_indices", tuple(self.seizure_indices))
+        if self.patient_id < 1:
+            raise EngineError(f"patient_id must be >= 1, got {self.patient_id}")
+        if self.duration_s <= 0:
+            raise EngineError(f"duration_s must be positive, got {self.duration_s}")
+        if not self.seizure_indices:
+            raise EngineError("task needs at least one seizure index")
+        if self.sample_index < 0:
+            raise EngineError(f"sample_index must be >= 0, got {self.sample_index}")
+
+    def build(self, dataset: SyntheticEEGDataset) -> EEGRecord:
+        """Regenerate this task's monitoring record from the dataset seed."""
+        return dataset.generate_monitoring_record(
+            self.patient_id,
+            self.duration_s,
+            seizure_indices=list(self.seizure_indices),
+            sample_index=self.sample_index,
+            min_gap_s=self.min_gap_s,
+        )
+
+
+class SelfLearningDriver:
+    """Runs the closed loop with the per-record labeling phase fanned out.
+
+    Parameters
+    ----------
+    pipeline:
+        The (stateful) self-learning pipeline to drive.  The driver owns
+        the scheduling, the pipeline owns the semantics.
+    dataset:
+        Record source for :class:`SelfLearningTask` coordinates.
+    max_workers:
+        Pool size for the per-annotation assessment phase (default: CPU
+        count, capped by the record's annotation count).
+    executor:
+        ``"thread"`` (default) or ``"serial"`` (assess one annotation at
+        a time — the reference path the parity tests compare against).
+    """
+
+    def __init__(
+        self,
+        pipeline: SelfLearningPipeline,
+        dataset: SyntheticEEGDataset,
+        *,
+        max_workers: int | None = None,
+        executor: str = "thread",
+    ) -> None:
+        if executor not in _EXECUTORS:
+            raise EngineError(
+                f"self-learning executor must be one of {_EXECUTORS}, "
+                f"got {executor!r}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        self.pipeline = pipeline
+        self.dataset = dataset
+        self.max_workers = max_workers or (os.cpu_count() or 1)
+        self.executor = executor
+
+    # ------------------------------------------------------------------
+    def observe(self, record: EEGRecord) -> SelfLearningReport:
+        """Process one monitoring record, assessments in parallel.
+
+        Identical to ``pipeline.observe_record(record)`` in every
+        observable way; only the wall-clock of the assessment phase
+        changes.
+        """
+        pipeline = self.pipeline
+        anns = list(record.annotations)
+        n_workers = min(self.max_workers, max(1, len(anns)))
+        if self.executor == "serial" or n_workers == 1 or len(anns) < 2:
+            assessments = [pipeline.assess_annotation(record, a) for a in anns]
+        else:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                assessments = list(
+                    pool.map(
+                        lambda ann: pipeline.assess_annotation(record, ann),
+                        anns,
+                    )
+                )
+        return pipeline.apply_assessments(record, assessments)
+
+    def run(
+        self, tasks: list[SelfLearningTask] | tuple[SelfLearningTask, ...]
+    ) -> list[SelfLearningReport]:
+        """Drive the loop over a monitoring scenario, record by record.
+
+        Records are processed strictly in task order — each sees the
+        detector state its predecessors trained; that serial dependency
+        *is* the methodology, so only the intra-record phase is
+        parallel.  Returns one report per task; an empty scenario yields
+        an empty list.
+        """
+        reports = []
+        for task in tasks:
+            reports.append(self.observe(task.build(self.dataset)))
+        return reports

@@ -25,14 +25,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from ..core.diagnostics import label_confidence
-from ..core.labeling import APosterioriLabeler
+from ..core.labeling import APosterioriLabeler, LabelingResult
 from ..data.records import EEGRecord, SeizureAnnotation
 from ..exceptions import ModelError
 from ..ml.validation import build_balanced_training_set
 from .detector import RealTimeDetector
 from .events import EventKind, PatientTrigger, TimelineEvent
 
-__all__ = ["SelfLearningReport", "SelfLearningPipeline"]
+__all__ = ["AnnotationAssessment", "SelfLearningReport", "SelfLearningPipeline"]
 
 
 @dataclass
@@ -49,6 +49,29 @@ class SelfLearningReport:
     @property
     def detection_rate(self) -> float:
         return self.n_detected / self.n_seizures if self.n_seizures else 0.0
+
+
+@dataclass(frozen=True)
+class AnnotationAssessment:
+    """One seizure's evaluation against the *frozen* detector state.
+
+    This is the parallelizable half of :meth:`observe_record`: given a
+    fixed detector, assessing each annotation (did the detector catch
+    it? if not, where does the a-posteriori labeler place it?) is a pure,
+    independent computation — the engine's self-learning driver fans it
+    out across a pool.  State mutation (buffer, retraining, event log)
+    happens afterwards, serially, in :meth:`apply_assessments`.
+    """
+
+    annotation: SeizureAnnotation
+    caught: bool
+    trigger: PatientTrigger | None = None
+    #: Start (record seconds) of the cropped lookback segment the
+    #: labeler examined; shifts the self-label back into record time.
+    crop_start_s: float = 0.0
+    result: LabelingResult | None = None
+    #: Detection confidence, computed only when the quality gate is on.
+    confidence: float | None = None
 
 
 class SelfLearningPipeline:
@@ -117,13 +140,78 @@ class SelfLearningPipeline:
 
         ``record.annotations`` serve only as the oracle for "did the
         patient have a seizure the detector did not alert on".
+
+        Internally this is assess-then-apply: every annotation is first
+        evaluated against the frozen detector (:meth:`assess_annotation`,
+        here serially; the engine driver runs the same calls in
+        parallel), then the assessments mutate pipeline state in
+        canonical order (:meth:`apply_assessments`).  Both callers share
+        the exact same code path, which is what makes the parallel
+        driver byte-identical to this method by construction.
         """
-        report = SelfLearningReport(n_seizures=len(record.annotations))
-        for ann in record.annotations:
+        assessments = [
+            self.assess_annotation(record, ann) for ann in record.annotations
+        ]
+        return self.apply_assessments(record, assessments)
+
+    def assess_annotation(
+        self, record: EEGRecord, ann: SeizureAnnotation
+    ) -> AnnotationAssessment:
+        """Evaluate one seizure against the current detector — pure.
+
+        Reads detector/labeler state but never writes it, so any number
+        of assessments of the same record may run concurrently between
+        retrainings.
+        """
+        if self._detector_catches(record, ann):
+            return AnnotationAssessment(annotation=ann, caught=True)
+        # The patient recovers within the lookback hour; cap the modeled
+        # recovery delay so the whole seizure stays inside the search
+        # window (press - lookback must precede the seizure onset).
+        max_recovery = max(
+            0.0, self.lookback_s - ann.duration_s - 2.0 * self.labeler.spec.length_s
+        )
+        recovery_s = min(
+            0.45 * self.lookback_s,
+            max_recovery,
+            max(0.0, record.duration_s - ann.offset_s - 1.0),
+        )
+        trigger = PatientTrigger.after_seizure(
+            ann, recovery_s=recovery_s, lookback_s=self.lookback_s
+        )
+        t0, t1 = trigger.search_interval(record.duration_s)
+        segment = record.crop(t0, t1)
+        result = self.labeler.label(segment, self.avg_seizure_duration_s)
+        confidence = (
+            label_confidence(result.detection).confidence
+            if self.min_confidence > 0.0
+            else None
+        )
+        return AnnotationAssessment(
+            annotation=ann,
+            caught=False,
+            trigger=trigger,
+            crop_start_s=t0,
+            result=result,
+            confidence=confidence,
+        )
+
+    def apply_assessments(
+        self, record: EEGRecord, assessments: list[AnnotationAssessment]
+    ) -> SelfLearningReport:
+        """Fold assessments into pipeline state, in annotation order.
+
+        The serial half of the loop: event log, training buffer and
+        retraining all happen here, exactly as the pre-refactor
+        ``observe_record`` did them.
+        """
+        report = SelfLearningReport(n_seizures=len(assessments))
+        for assessment in assessments:
+            ann = assessment.annotation
             report.events.append(
                 TimelineEvent(EventKind.SEIZURE_OCCURRED, ann.onset_s)
             )
-            if self._detector_catches(record, ann):
+            if assessment.caught:
                 report.n_detected += 1
                 report.events.append(
                     TimelineEvent(EventKind.SEIZURE_DETECTED, ann.onset_s)
@@ -133,7 +221,7 @@ class SelfLearningPipeline:
             report.events.append(
                 TimelineEvent(EventKind.SEIZURE_MISSED, ann.onset_s)
             )
-            self._handle_missed_seizure(record, ann, report)
+            self._absorb_assessment(record, assessment, report)
 
         if (
             len(self.training_buffer) >= self.min_train_seizures
@@ -163,42 +251,31 @@ class SelfLearningPipeline:
         segment = record.crop(t0, t1)
         return self.detector.caught_seizure(segment)
 
-    def _handle_missed_seizure(
+    def _absorb_assessment(
         self,
         record: EEGRecord,
-        ann: SeizureAnnotation,
+        assessment: AnnotationAssessment,
         report: SelfLearningReport,
     ) -> None:
         """Patient trigger -> a-posteriori label -> buffer."""
-        # The patient recovers within the lookback hour; cap the modeled
-        # recovery delay so the whole seizure stays inside the search
-        # window (press - lookback must precede the seizure onset).
-        max_recovery = max(
-            0.0, self.lookback_s - ann.duration_s - 2.0 * self.labeler.spec.length_s
-        )
-        recovery_s = min(
-            0.45 * self.lookback_s,
-            max_recovery,
-            max(0.0, record.duration_s - ann.offset_s - 1.0),
-        )
-        trigger = PatientTrigger.after_seizure(
-            ann, recovery_s=recovery_s, lookback_s=self.lookback_s
-        )
+        trigger = assessment.trigger
+        result = assessment.result
+        t0 = assessment.crop_start_s
+        assert trigger is not None and result is not None
         report.events.append(
             TimelineEvent(EventKind.PATIENT_TRIGGER, trigger.press_time_s)
         )
-        t0, t1 = trigger.search_interval(record.duration_s)
-        segment = record.crop(t0, t1)
-        result = self.labeler.label(segment, self.avg_seizure_duration_s)
-        if self.min_confidence > 0.0:
-            diag = label_confidence(result.detection)
-            if diag.confidence < self.min_confidence:
+        if assessment.confidence is not None:
+            if assessment.confidence < self.min_confidence:
                 self.n_rejected_labels += 1
                 report.events.append(
                     TimelineEvent(
                         EventKind.SELF_LABEL_ADDED,
                         result.annotation.onset_s + t0,
-                        detail=f"REJECTED (confidence {diag.confidence:.2f})",
+                        detail=(
+                            f"REJECTED (confidence "
+                            f"{assessment.confidence:.2f})"
+                        ),
                     )
                 )
                 return

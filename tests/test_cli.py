@@ -3,8 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, main, resolve_cohort_scale
 from repro.data import save_record
+from repro.data.sampling import (
+    ENV_PAPER_DURATIONS,
+    ENV_SAMPLES,
+    PAPER_DURATION_RANGE_S,
+)
+from repro.engine.executor import ENV_EXECUTOR
 
 
 class TestParser:
@@ -98,6 +104,12 @@ class TestCohort:
         code = main(["cohort", "--patients", "eight"])
         assert code == 2
 
+    def test_patient_list_parsing_to_empty_errors(self, capsys):
+        # "," splits to nothing: must not run an empty cohort cleanly.
+        code = main(["cohort", "--patients", ",", "--executor", "serial"])
+        assert code == 2
+        assert "bad --patients" in capsys.readouterr().err
+
     def test_bad_samples_errors(self):
         code = main(["cohort", "--samples", "0"])
         assert code == 2
@@ -139,6 +151,147 @@ class TestCohort:
         err = capsys.readouterr().err
         assert code == 2
         assert "error:" in err and "too short" in err
+
+
+class TestCohortScaleResolution:
+    """The paper-scale env knobs, resolved without running anything."""
+
+    def parse(self, *argv):
+        return build_parser().parse_args(["cohort", *argv])
+
+    @pytest.fixture(autouse=True)
+    def clean_env(self, monkeypatch):
+        monkeypatch.delenv(ENV_SAMPLES, raising=False)
+        monkeypatch.delenv(ENV_PAPER_DURATIONS, raising=False)
+
+    def test_laptop_defaults(self):
+        samples, durations = resolve_cohort_scale(self.parse())
+        assert samples == 1
+        assert durations == (480.0, 900.0)
+
+    def test_env_samples_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_SAMPLES, "100")
+        samples, _ = resolve_cohort_scale(self.parse())
+        assert samples == 100
+
+    def test_env_paper_durations_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_PAPER_DURATIONS, "1")
+        _, durations = resolve_cohort_scale(self.parse())
+        assert durations == PAPER_DURATION_RANGE_S
+
+    def test_paper_scale_flag_is_the_one_liner(self):
+        # The 45 x 100-sample Sec. VI-A run: one flag, no env needed.
+        samples, durations = resolve_cohort_scale(self.parse("--paper-scale"))
+        assert samples == 100
+        assert durations == PAPER_DURATION_RANGE_S
+
+    def test_explicit_flags_beat_env_and_paper_scale(self, monkeypatch):
+        monkeypatch.setenv(ENV_SAMPLES, "100")
+        monkeypatch.setenv(ENV_PAPER_DURATIONS, "1")
+        samples, durations = resolve_cohort_scale(
+            self.parse(
+                "--paper-scale", "--samples", "2",
+                "--duration-min", "5", "--duration-max", "6",
+            )
+        )
+        assert samples == 2
+        assert durations == (300.0, 360.0)
+
+    def test_partial_duration_flags_fill_from_cli_default(self):
+        _, durations = resolve_cohort_scale(self.parse("--duration-min", "5"))
+        assert durations == (300.0, 900.0)
+
+    def test_partial_duration_flag_keeps_paper_bound(self):
+        # One explicit bound must not drag the other back to the laptop
+        # default when running at paper scale.
+        _, durations = resolve_cohort_scale(
+            self.parse("--paper-scale", "--duration-max", "45")
+        )
+        assert durations == (1800.0, 2700.0)
+
+    def test_non_numeric_env_samples_names_the_knob(self, monkeypatch, capsys):
+        monkeypatch.setenv(ENV_SAMPLES, "ten")
+        code = main(["cohort", "--patients", "8", "--executor", "serial"])
+        assert code == 2
+        assert ENV_SAMPLES in capsys.readouterr().err
+
+    def test_bad_env_samples_errors_cleanly(self, monkeypatch, capsys):
+        monkeypatch.setenv(ENV_SAMPLES, "0")
+        code = main(["cohort", "--patients", "8", "--executor", "serial"])
+        assert code == 2
+        assert ENV_SAMPLES in capsys.readouterr().err
+
+    def test_env_samples_drive_a_run(self, monkeypatch, capsys):
+        monkeypatch.setenv(ENV_SAMPLES, "2")
+        code = main(
+            [
+                "cohort",
+                "--patients", "8",
+                "--duration-min", "5",
+                "--duration-max", "6",
+                "--executor", "serial",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cohort: 8 records" in out  # 4 seizures x 2 samples
+
+    def test_env_executor_selects_backend(self, monkeypatch, capsys):
+        monkeypatch.setenv(ENV_EXECUTOR, "serial")
+        code = main(
+            [
+                "cohort",
+                "--patients", "8",
+                "--duration-min", "5",
+                "--duration-max", "6",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(serial," in out
+
+    def test_invalid_env_executor_errors_cleanly(self, monkeypatch, capsys):
+        monkeypatch.setenv(ENV_EXECUTOR, "fleet")
+        code = main(["cohort", "--patients", "8"])
+        assert code == 2
+        assert ENV_EXECUTOR in capsys.readouterr().err
+
+
+class TestCohortResumability:
+    def test_store_populated_and_reused(self, tmp_path, capsys):
+        store = tmp_path / "features"
+        argv = [
+            "cohort",
+            "--patients", "8",
+            "--duration-min", "5",
+            "--duration-max", "6",
+            "--executor", "serial",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        entries = list(store.glob("*.feat"))
+        assert len(entries) == 4  # one persisted matrix per record
+        mtimes = {p: p.stat().st_mtime_ns for p in entries}
+        assert main(argv) == 0  # resumed run loads, never rewrites
+        assert {p: p.stat().st_mtime_ns for p in entries} == mtimes
+
+    def test_tolerated_all_failure_still_errors(self, capsys):
+        # --max-failures -1 tolerates poisoned records, but an entirely
+        # failed run must not masquerade as success (the engine raises).
+        code = main(
+            [
+                "cohort",
+                "--patients", "8",
+                "--duration-min", "0.5",
+                "--duration-max", "1",
+                "--executor", "serial",
+                "--max-failures", "-1",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "every record failed" in err
+        assert "too short" in err
 
 
 class TestLifetime:

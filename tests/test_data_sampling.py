@@ -35,6 +35,27 @@ class TestEnvKnobs:
         monkeypatch.setenv(ENV_PAPER_DURATIONS, "1")
         assert duration_range_from_env() == PAPER_DURATION_RANGE_S
 
+    def test_paper_durations_flag_is_case_insensitive(self, monkeypatch):
+        monkeypatch.setenv(ENV_PAPER_DURATIONS, "True")
+        assert duration_range_from_env() == PAPER_DURATION_RANGE_S
+
+    def test_explicit_off_values(self, monkeypatch):
+        for off in ("0", "false", "NO", "off"):
+            monkeypatch.setenv(ENV_PAPER_DURATIONS, off)
+            assert duration_range_from_env() == DEFAULT_DURATION_RANGE_S
+
+    def test_unrecognized_flag_raises(self, monkeypatch):
+        # A typo'd flag must not silently run laptop-sized records
+        # through a paper-scale session.
+        monkeypatch.setenv(ENV_PAPER_DURATIONS, "maybe")
+        with pytest.raises(ValueError, match=ENV_PAPER_DURATIONS):
+            duration_range_from_env()
+
+    def test_non_numeric_samples_names_the_knob(self, monkeypatch):
+        monkeypatch.setenv(ENV_SAMPLES, "ten")
+        with pytest.raises(ValueError, match=ENV_SAMPLES):
+            samples_per_seizure_from_env()
+
 
 class TestIteration:
     def test_sample_count_per_patient(self, dataset):

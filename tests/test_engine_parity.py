@@ -9,6 +9,8 @@ case (FeatureError, never silent zero-row output) across the engine,
 streaming and batch extraction paths.
 """
 
+import json
+
 import numpy as np
 import pytest
 
@@ -145,9 +147,16 @@ class TestEngineValidation:
         with pytest.raises(EngineError, match="max_workers"):
             CohortEngine(dataset, max_workers=0)
 
-    def test_empty_task_list(self, dataset):
-        with pytest.raises(EngineError, match="empty task list"):
-            CohortEngine(dataset, executor="serial").run(())
+    def test_empty_task_list_yields_empty_report(self, dataset):
+        report = CohortEngine(dataset, executor="serial").run(())
+        assert report.n_records == 0
+        assert report.n_failures == 0
+        assert report.patients == ()
+        # The empty report still serializes canonically (strict JSON, no
+        # NaN) so resumable tooling can treat it uniformly.
+        payload = json.loads(report.to_json())
+        assert payload["outcomes"] == []
+        assert payload["median_delta_s"] == 0.0
 
     def test_run_rejects_unknown_executor_override(self, dataset):
         with pytest.raises(EngineError, match="executor"):
@@ -170,9 +179,12 @@ class TestEngineValidation:
         assert [t.key for t in tasks] == sorted(t.key for t in tasks)
         assert len(tasks) == 2 * dataset.profile(8).n_seizures
 
-    def test_empty_report_rejected(self):
-        with pytest.raises(EngineError, match="no record outcomes"):
-            CohortReport.from_outcomes([])
+    def test_empty_outcome_set_aggregates_to_empty_report(self):
+        report = CohortReport.from_outcomes([])
+        assert report.n_records == 0
+        assert report.patients == ()
+        assert report.median_delta_s == 0.0
+        assert report.geometric_mean == 0.0
 
 
 class TestFeatureCache:
@@ -259,6 +271,55 @@ class TestFeatureCache:
         assert cache.stats()["hits"] == 0
         assert cache.stats()["misses"] == 2
         assert not np.array_equal(a.values, b.values)
+
+
+class TestCacheTierParity:
+    """Byte-identical reports with the cache cold, warm, and disk-restored.
+
+    The disk store must be invisible to results: a run that extracts
+    everything, a run served from the in-process LRU, and a fresh
+    engine served purely from the persisted matrices all serialize to
+    the same JSON bytes as the storeless baseline.
+    """
+
+    TASKS = (RecordTask(1, 0, 0), RecordTask(8, 0, 0))
+
+    def test_cold_warm_restored_byte_identical(self, dataset, tmp_path):
+        baseline = (
+            CohortEngine(dataset, executor="serial").run(self.TASKS).to_json()
+        )
+        store_dir = tmp_path / "feature-store"
+
+        first = CohortEngine(
+            dataset, executor="serial", store_dir=str(store_dir)
+        )
+        cold = first.run(self.TASKS).to_json()  # extracts + persists
+        warm = first.run(self.TASKS).to_json()  # served by the LRU tier
+        stats = first.cache_stats()
+        assert stats["hits"] == len(self.TASKS)
+        assert stats["store"]["writes"] == len(self.TASKS)
+
+        restored_engine = CohortEngine(
+            dataset, executor="serial", store_dir=str(store_dir)
+        )
+        restored = restored_engine.run(self.TASKS).to_json()
+        stats = restored_engine.cache_stats()
+        # Every record came back from disk: no extraction, no writes.
+        assert stats["store"]["hits"] == len(self.TASKS)
+        assert stats["store"]["writes"] == 0
+
+        assert cold == warm == restored == baseline
+
+    def test_process_pool_shares_the_store(self, dataset, tmp_path):
+        store_dir = tmp_path / "feature-store"
+        serial = CohortEngine(
+            dataset, executor="serial", store_dir=str(store_dir)
+        )
+        expected = serial.run(self.TASKS).to_json()
+        pooled = CohortEngine(
+            dataset, max_workers=2, executor="process", store_dir=str(store_dir)
+        )
+        assert pooled.run(self.TASKS).to_json() == expected
 
 
 class TestPaperProtocolRollup:

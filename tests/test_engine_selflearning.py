@@ -1,0 +1,151 @@
+"""Self-learning fan-out suite: the engine driver equals the sequential loop.
+
+The closed loop's contract under parallelization: fanning the
+per-annotation labeling/evaluation phase across a pool changes *nothing*
+— same reports, same event log, same training buffer, same retrained
+detector — because retraining (the stateful half) stays serial and both
+paths share ``assess_annotation`` / ``apply_assessments``.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.labeling import APosterioriLabeler
+from repro.engine import SelfLearningDriver, SelfLearningTask
+from repro.exceptions import EngineError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.selflearning.detector import RealTimeDetector
+from repro.selflearning.pipeline import SelfLearningPipeline
+
+#: A two-record monitoring scenario for patient 8: the first record's
+#: misses fill the buffer and trigger a retrain, the second exercises
+#: the trained detector (detections and misses both possible).
+SCENARIO = (
+    SelfLearningTask(8, 1800.0, (0, 1), min_gap_s=500.0),
+    SelfLearningTask(8, 1800.0, (2, 3), sample_index=1, min_gap_s=500.0),
+)
+
+
+def make_pipeline(dataset):
+    """A fresh cold-start pipeline; called once per compared path so the
+    sequential and parallel runs start from identical state."""
+    free = [dataset.generate_seizure_free(8, 180.0, k) for k in range(2)]
+    return SelfLearningPipeline(
+        labeler=APosterioriLabeler(),
+        detector=RealTimeDetector(
+            extractor=Paper10FeatureExtractor(), n_estimators=15
+        ),
+        avg_seizure_duration_s=dataset.mean_seizure_duration(8),
+        seizure_free_pool=free,
+        min_train_seizures=2,
+        lookback_s=450.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def sequential(dataset):
+    """Reference run: ``observe_record`` record by record, no pool."""
+    pipeline = make_pipeline(dataset)
+    reports = [
+        pipeline.observe_record(task.build(dataset)) for task in SCENARIO
+    ]
+    return pipeline, reports
+
+
+def assert_loop_parity(dataset, pipeline, reports, sequential):
+    ref_pipeline, ref_reports = sequential
+    for got, want in zip(reports, ref_reports):
+        assert got.n_seizures == want.n_seizures
+        assert got.n_detected == want.n_detected
+        assert got.n_missed == want.n_missed
+        assert got.n_self_labels == want.n_self_labels
+        assert got.retrained == want.retrained
+        assert got.events == want.events  # full audit log, in order
+    assert pipeline.history == ref_pipeline.history
+    assert pipeline.n_retrainings == ref_pipeline.n_retrainings
+    assert [ann for _, ann in pipeline.training_buffer] == [
+        ann for _, ann in ref_pipeline.training_buffer
+    ]
+    # The retrained detectors are interchangeable: identical window
+    # probabilities on a probe record (seeded forest, identical inputs).
+    probe = dataset.generate_sample(8, 2, 3)
+    assert np.array_equal(
+        pipeline.detector.window_probabilities(probe),
+        ref_pipeline.detector.window_probabilities(probe),
+    )
+
+
+class TestDriverParity:
+    def test_thread_driver_matches_sequential(self, dataset, sequential):
+        pipeline = make_pipeline(dataset)
+        driver = SelfLearningDriver(
+            pipeline, dataset, max_workers=4, executor="thread"
+        )
+        reports = driver.run(SCENARIO)
+        assert_loop_parity(dataset, pipeline, reports, sequential)
+
+    def test_serial_driver_matches_sequential(self, dataset, sequential):
+        pipeline = make_pipeline(dataset)
+        driver = SelfLearningDriver(pipeline, dataset, executor="serial")
+        reports = driver.run(SCENARIO)
+        assert_loop_parity(dataset, pipeline, reports, sequential)
+
+    def test_single_worker_thread_driver(self, dataset, sequential):
+        pipeline = make_pipeline(dataset)
+        driver = SelfLearningDriver(
+            pipeline, dataset, max_workers=1, executor="thread"
+        )
+        reports = driver.run(SCENARIO)
+        assert_loop_parity(dataset, pipeline, reports, sequential)
+
+    def test_observe_accepts_direct_records(self, dataset, sequential):
+        # Records that did not come from a task (e.g. streamed in from a
+        # real device) go through the same parallel path.
+        pipeline = make_pipeline(dataset)
+        driver = SelfLearningDriver(pipeline, dataset, max_workers=4)
+        reports = [driver.observe(t.build(dataset)) for t in SCENARIO]
+        assert_loop_parity(dataset, pipeline, reports, sequential)
+
+    def test_empty_scenario(self, dataset):
+        driver = SelfLearningDriver(make_pipeline(dataset), dataset)
+        assert driver.run(()) == []
+
+
+class TestTaskValidation:
+    def test_coordinates_only_no_signal(self):
+        task = SelfLearningTask(8, 1800.0, [0, 1])
+        assert task.seizure_indices == (0, 1)  # list coerced to tuple
+        assert hash(task)  # shardable: hashable and frozen
+
+    def test_bad_patient(self):
+        with pytest.raises(EngineError, match="patient_id"):
+            SelfLearningTask(0, 1800.0, (0,))
+
+    def test_bad_duration(self):
+        with pytest.raises(EngineError, match="duration_s"):
+            SelfLearningTask(8, 0.0, (0,))
+
+    def test_no_seizures(self):
+        with pytest.raises(EngineError, match="seizure index"):
+            SelfLearningTask(8, 1800.0, ())
+
+    def test_bad_sample_index(self):
+        with pytest.raises(EngineError, match="sample_index"):
+            SelfLearningTask(8, 1800.0, (0,), sample_index=-1)
+
+    def test_build_regenerates_deterministically(self, dataset):
+        task = SCENARIO[0]
+        a = task.build(dataset)
+        b = task.build(dataset)
+        assert np.array_equal(a.data, b.data)
+        assert a.annotations == b.annotations
+
+
+class TestDriverValidation:
+    def test_unknown_executor(self, dataset):
+        with pytest.raises(EngineError, match="executor"):
+            SelfLearningDriver(make_pipeline(dataset), dataset, executor="process")
+
+    def test_bad_worker_count(self, dataset):
+        with pytest.raises(EngineError, match="max_workers"):
+            SelfLearningDriver(make_pipeline(dataset), dataset, max_workers=0)

@@ -1,0 +1,267 @@
+"""DiskFeatureStore suite: durability rules of the persistent tier.
+
+Round-trip equality, corruption/truncation falling back to recompute,
+version bumps invalidating old entries, atomic concurrent writers, and
+the two-tier interaction with :class:`FeatureCache`.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    DiskFeatureStore,
+    FeatureCache,
+    extract_features_chunked,
+    feature_cache_key,
+    store_key_digest,
+)
+from repro.exceptions import EngineError, FeatureError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.signals.windowing import WindowSpec
+
+SPEC = WindowSpec(4.0, 1.0)
+
+
+@pytest.fixture(scope="module")
+def extractor():
+    return Paper10FeatureExtractor()
+
+
+@pytest.fixture(scope="module")
+def feats(sample_record, extractor):
+    return extract_features_chunked(sample_record, extractor, SPEC)
+
+
+@pytest.fixture(scope="module")
+def key(sample_record, extractor):
+    return feature_cache_key(sample_record, extractor, SPEC)
+
+
+class TestRoundTrip:
+    def test_save_load_equality(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        loaded = store.load(key)
+        assert loaded is not None
+        assert np.array_equal(loaded.values, feats.values)
+        assert loaded.feature_names == feats.feature_names
+        assert loaded.spec.length_s == feats.spec.length_s
+        assert loaded.spec.step_s == feats.spec.step_s
+        assert loaded.fs == feats.fs
+        assert store.stats() == {
+            "hits": 1, "misses": 0, "writes": 1, "corrupt": 0, "stale": 0,
+            "write_errors": 0,
+        }
+        assert len(store) == 1
+
+    def test_loaded_matrix_is_writable(self, tmp_path, feats, key):
+        # frombuffer views are read-only; the store must hand back an
+        # owning copy so downstream code can normalize in place.
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        loaded = store.load(key)
+        loaded.values[0, 0] = 42.0  # must not raise
+
+    def test_missing_entry_is_a_miss(self, tmp_path, key):
+        store = DiskFeatureStore(tmp_path)
+        assert store.load(key) is None
+        assert store.stats()["misses"] == 1
+
+    def test_digest_is_stable_and_key_sensitive(self, key):
+        assert store_key_digest(key) == store_key_digest(tuple(key))
+        assert store_key_digest(key) != store_key_digest(key + ("x",))
+
+    def test_unwritable_root_raises(self, tmp_path):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("not a directory")
+        with pytest.raises(EngineError, match="feature store"):
+            DiskFeatureStore(blocker / "sub")
+
+
+class TestCorruptionSafety:
+    def entry_path(self, store, key):
+        path = store.path_for(key)
+        assert path.exists()
+        return path
+
+    def test_truncated_payload_recomputes(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        path = self.entry_path(store, key)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_flipped_payload_byte_fails_checksum(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        path = self.entry_path(store, key)
+        blob = bytearray(path.read_bytes())
+        blob[-1] ^= 0xFF
+        path.write_bytes(bytes(blob))
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_garbage_header_recomputes(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        path = self.entry_path(store, key)
+        path.write_bytes(b"{not json\n" + b"\x00" * 64)
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_headerless_blob_recomputes(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        self.entry_path(store, key).write_bytes(b"\x00" * 128)
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_version_bump_invalidates_old_entries(
+        self, tmp_path, feats, key, monkeypatch
+    ):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        monkeypatch.setattr(DiskFeatureStore, "VERSION", DiskFeatureStore.VERSION + 1)
+        fresh = DiskFeatureStore(tmp_path)
+        assert fresh.load(key) is None
+        assert fresh.stats()["stale"] == 1
+        # Recompute-and-save under the new version makes it loadable again.
+        fresh.save(key, feats)
+        assert fresh.load(key) is not None
+
+    def test_foreign_dtype_rejected(self, tmp_path, feats, key):
+        # The writer only emits float64; a forged header with any other
+        # dtype must degrade to recompute, never load mis-typed data.
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        path = self.entry_path(store, key)
+        head, payload = path.read_bytes().split(b"\n", 1)
+        header = json.loads(head)
+        header["dtype"] = "float32"
+        path.write_bytes(json.dumps(header, sort_keys=True).encode() + b"\n" + payload)
+        assert store.load(key) is None
+        assert store.stats()["corrupt"] == 1
+
+    def test_failed_write_is_counted_not_raised(
+        self, tmp_path, feats, key, monkeypatch
+    ):
+        # Persistence is best-effort: losing the disk mid-run (here: the
+        # atomic rename starts failing) costs durability, never the run.
+        store = DiskFeatureStore(tmp_path)
+
+        def broken_replace(src, dst):
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr("repro.engine.store.os.replace", broken_replace)
+        assert store.save(key, feats) is None
+        assert store.stats()["write_errors"] == 1
+        assert store.stats()["writes"] == 0
+        assert len(store) == 0
+        assert list(tmp_path.glob("*.tmp-*")) == []  # temp file cleaned up
+
+    def test_wrong_key_in_header_is_stale(self, tmp_path, feats, key):
+        # An entry renamed (or hash-collided) onto the wrong filename
+        # must never load as another record's features.
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        other_key = key + ("other",)
+        store.path_for(key).rename(store.path_for(other_key))
+        assert store.load(other_key) is None
+        assert store.stats()["stale"] == 1
+
+
+class TestConcurrentWriters:
+    def test_parallel_saves_never_clobber(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        errors = []
+
+        def writer():
+            try:
+                for _ in range(5):
+                    store.save(key, feats)
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=writer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        # Whatever write won, the entry verifies end to end.
+        loaded = store.load(key)
+        assert loaded is not None
+        assert np.array_equal(loaded.values, feats.values)
+        assert len(store) == 1
+        # No temp-file litter left behind.
+        assert list(tmp_path.glob("*.tmp-*")) == []
+
+    def test_header_is_one_json_line(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        first_line = store.path_for(key).read_bytes().split(b"\n", 1)[0]
+        header = json.loads(first_line)
+        assert header["version"] == DiskFeatureStore.VERSION
+        assert header["key"] == store_key_digest(key)
+        assert header["shape"] == list(feats.values.shape)
+
+
+class TestCacheIntegration:
+    def test_cold_then_restored(self, tmp_path, sample_record, extractor):
+        store = DiskFeatureStore(tmp_path)
+        cache = FeatureCache(capacity=4, store=store)
+        first = cache.get_or_extract(sample_record, extractor, SPEC)
+        assert store.stats()["writes"] == 1
+
+        # A fresh cache (new process, conceptually) over the same store:
+        # the matrix is restored from disk, not re-extracted.
+        store2 = DiskFeatureStore(tmp_path)
+        cache2 = FeatureCache(capacity=4, store=store2)
+        restored = cache2.get_or_extract(sample_record, extractor, SPEC)
+        assert np.array_equal(restored.values, first.values)
+        assert store2.stats() == {
+            "hits": 1, "misses": 0, "writes": 0, "corrupt": 0, "stale": 0,
+            "write_errors": 0,
+        }
+        # Second access is a pure memory hit; disk untouched.
+        cache2.get_or_extract(sample_record, extractor, SPEC)
+        assert cache2.stats()["hits"] == 1
+        assert cache2.stats()["store"]["hits"] == 1
+
+    def test_corrupt_entry_falls_back_to_recompute(
+        self, tmp_path, sample_record, extractor
+    ):
+        store = DiskFeatureStore(tmp_path)
+        cache = FeatureCache(capacity=4, store=store)
+        feats = cache.get_or_extract(sample_record, extractor, SPEC)
+        key = feature_cache_key(sample_record, extractor, SPEC)
+        path = store.path_for(key)
+        path.write_bytes(path.read_bytes()[:40])
+
+        cache2 = FeatureCache(capacity=4, store=store)
+        recomputed = cache2.get_or_extract(sample_record, extractor, SPEC)
+        assert np.array_equal(recomputed.values, feats.values)
+        assert store.stats()["corrupt"] == 1
+        # The recompute healed the entry on disk.
+        assert store.load(key) is not None
+
+    def test_short_record_writes_nothing(self, tmp_path, extractor):
+        from repro.data.records import EEGRecord
+
+        rng = np.random.default_rng(3)
+        short = EEGRecord(data=rng.standard_normal((2, 512)), fs=256.0)
+        store = DiskFeatureStore(tmp_path)
+        cache = FeatureCache(capacity=2, store=store)
+        with pytest.raises(FeatureError, match="shorter than one"):
+            cache.get_or_extract(short, extractor, SPEC)
+        assert len(store) == 0
+
+    def test_stats_without_store_keep_legacy_shape(self, sample_record, extractor):
+        cache = FeatureCache(capacity=2)
+        cache.get_or_extract(sample_record, extractor, SPEC)
+        assert "store" not in cache.stats()
