@@ -11,7 +11,7 @@ near the full set, while cost grows linearly in F.
 import numpy as np
 from conftest import print_table, save_results
 
-from repro.core import APosterioriLabeler, deviation
+from repro.core import APosterioriLabeler
 from repro.features import Paper10FeatureExtractor, extract_features
 
 PATIENTS = (1, 8)

@@ -12,7 +12,7 @@ import time
 import numpy as np
 from conftest import print_table, save_results
 
-from repro.core import APosterioriLabeler, deviation
+from repro.core import APosterioriLabeler
 from repro.features import Paper10FeatureExtractor, extract_features
 
 STEPS = (1, 2, 4, 8, 16)

@@ -16,7 +16,6 @@ its table (visible with ``-s``) and writes a JSON copy under
 from __future__ import annotations
 
 import json
-import os
 import time
 from pathlib import Path
 

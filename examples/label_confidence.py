@@ -44,7 +44,6 @@ def main() -> None:
         9, 1500.0, seizure_indices=[0, 1], min_gap_s=400.0
     )
     from repro.features import Paper10FeatureExtractor, extract_features
-    from repro.features.normalize import zscore
 
     feats = extract_features(record, Paper10FeatureExtractor())
     w = labeler.window_length_for(dataset.mean_seizure_duration(9))

@@ -11,8 +11,6 @@ Run:
     python examples/streaming_edge.py
 """
 
-import numpy as np
-
 from repro import APosterioriLabeler, SyntheticEEGDataset, deviation
 from repro.core import StreamingLabeler
 from repro.platform import MemoryBudget

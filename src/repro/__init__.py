@@ -45,6 +45,7 @@ from .core import (
     score_seizure,
 )
 from .engine import (
+    CohortCheckpoint,
     CohortEngine,
     CohortReport,
     DiskFeatureStore,
@@ -117,6 +118,7 @@ __all__ = [
     "normalized_deviation",
     "score_seizure",
     # engine
+    "CohortCheckpoint",
     "CohortEngine",
     "CohortReport",
     "DiskFeatureStore",

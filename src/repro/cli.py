@@ -10,6 +10,10 @@ code:
   labeling end to end (no files needed);
 * ``cohort``   — fan the full evaluation out across a worker pool (the
   :mod:`repro.engine` executor) and print the Table I/II-style rollup;
+  ``--checkpoint``/``--resume`` journal per-record outcomes so a killed
+  run resumes without repeating completed records;
+* ``store``    — lifecycle management for a persistent feature store
+  directory (``stats`` / ``verify`` / ``gc`` / ``clear``);
 * ``lifetime`` — evaluate the wearable battery model at a given seizure
   frequency (the Table III arithmetic).
 """
@@ -17,6 +21,7 @@ code:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -30,7 +35,7 @@ from .data.sampling import (
     duration_range_from_env,
     samples_per_seizure_from_env,
 )
-from .engine import CohortEngine, default_executor
+from .engine import CohortCheckpoint, CohortEngine, DiskFeatureStore, default_executor
 from .exceptions import ReproError
 from .platform.battery import WearablePlatform
 
@@ -142,6 +147,20 @@ def build_parser() -> argparse.ArgumentParser:
         "same store skip extraction for unchanged records",
     )
     p_cohort.add_argument(
+        "--checkpoint",
+        default="",
+        metavar="PATH",
+        help="journal every completed record to this file as the run "
+        "progresses; a killed run restarted with --resume skips the "
+        "journaled records and produces a byte-identical report",
+    )
+    p_cohort.add_argument(
+        "--resume",
+        action="store_true",
+        help="allow --checkpoint to continue from an existing journal "
+        "(without it, an existing checkpoint file is an error)",
+    )
+    p_cohort.add_argument(
         "--max-failures",
         type=int,
         default=0,
@@ -156,6 +175,34 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="also write the canonical CohortReport JSON to this file",
     )
+
+    p_store = sub.add_parser(
+        "store", help="manage a persistent feature store directory"
+    )
+    store_sub = p_store.add_subparsers(dest="store_command", required=True)
+    p_stats = store_sub.add_parser(
+        "stats", help="entry count and total size of a store"
+    )
+    p_verify = store_sub.add_parser(
+        "verify",
+        help="scan every entry (ok / corrupt / stale); exits 1 if any "
+        "entry fails verification",
+    )
+    p_gc = store_sub.add_parser(
+        "gc",
+        help="delete corrupt and stale-version entries, then evict "
+        "least-recently-used entries down to --max-bytes",
+    )
+    p_gc.add_argument(
+        "--max-bytes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="after GC, evict LRU entries until the store is <= N bytes",
+    )
+    p_clear = store_sub.add_parser("clear", help="delete every entry")
+    for sp in (p_stats, p_verify, p_gc, p_clear):
+        sp.add_argument("dir", help="feature store directory")
 
     p_life = sub.add_parser("lifetime", help="battery lifetime of the wearable")
     p_life.add_argument(
@@ -265,6 +312,20 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
             # empty cohort successfully.
             print(f"error: bad --patients list {args.patients!r}", file=sys.stderr)
             return 2
+    if args.resume and not args.checkpoint:
+        print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    checkpoint = None
+    if args.checkpoint:
+        checkpoint = CohortCheckpoint(args.checkpoint)
+        if checkpoint.path.exists() and not args.resume:
+            print(
+                f"error: checkpoint {args.checkpoint} already exists; "
+                f"pass --resume to continue that run or delete the file "
+                f"to start over",
+                file=sys.stderr,
+            )
+            return 2
     try:
         executor = args.executor or default_executor()
         dataset = SyntheticEEGDataset(duration_range_s=duration_range_s)
@@ -274,17 +335,21 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
             executor=executor,
             store_dir=args.store or None,
         )
+        resumed_records = checkpoint.outcome_count() if checkpoint else 0
         start = time.perf_counter()
         report = engine.run(
             samples_per_seizure=samples,
             patient_ids=patient_ids,
             max_failures=None if args.max_failures < 0 else args.max_failures,
+            checkpoint=checkpoint,
         )
         elapsed = time.perf_counter() - start
     except ReproError as exc:
         # DataError from the dataset configuration, EngineError for bad
-        # engine configuration or for runs whose failure count exceeds
-        # --max-failures (the message lists the poisoned records).
+        # engine configuration, for runs whose failure count crosses
+        # --max-failures (the message lists every failure observed
+        # before cancellation), and CheckpointError for a journal
+        # written by a different work list or configuration.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
@@ -313,6 +378,12 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
                 f"  task {failure.key}: {failure.error}",
                 file=sys.stderr,
             )
+    if checkpoint:
+        fresh = report.n_records + report.n_failures - resumed_records
+        print(
+            f"checkpoint: {resumed_records} record(s) restored from "
+            f"{args.checkpoint}, {fresh} processed this run"
+        )
     print(
         f"executed in {elapsed:.1f} s ({executor}, "
         f"{engine.effective_workers(report.n_records + report.n_failures)} "
@@ -326,6 +397,47 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
             print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
             return 2
         print(f"report JSON written to {args.json}")
+    return 0
+
+
+def _cmd_store(args: argparse.Namespace) -> int:
+    if not os.path.isdir(args.dir):
+        print(f"error: no feature store directory at {args.dir}", file=sys.stderr)
+        return 2
+    try:
+        store = DiskFeatureStore(args.dir)
+        if args.store_command == "stats":
+            print(f"store: {args.dir}")
+            print(f"entries: {len(store)}")
+            print(f"bytes: {store.total_bytes()}")
+        elif args.store_command == "verify":
+            counts = store.verify()
+            print(
+                f"{counts['entries']} entries ({counts['bytes']} bytes): "
+                f"{counts['ok']} ok, {counts['corrupt']} corrupt, "
+                f"{counts['stale']} stale"
+            )
+            if counts["corrupt"] or counts["stale"]:
+                print(
+                    "verification failed: run `repro store gc` to remove "
+                    "broken entries",
+                    file=sys.stderr,
+                )
+                return 1
+        elif args.store_command == "gc":
+            result = store.gc(max_bytes=args.max_bytes)
+            print(
+                f"removed {result['removed_corrupt']} corrupt and "
+                f"{result['removed_stale']} stale entries, evicted "
+                f"{result['evicted']} over the size bound; "
+                f"{result['entries']} entries ({result['bytes']} bytes) kept"
+            )
+        else:  # clear
+            removed = store.clear()
+            print(f"removed {removed} entries from {args.dir}")
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -351,6 +463,7 @@ def main(argv: list[str] | None = None) -> int:
         "label": _cmd_label,
         "simulate": _cmd_simulate,
         "cohort": _cmd_cohort,
+        "store": _cmd_store,
         "lifetime": _cmd_lifetime,
     }
     return handlers[args.command](args)

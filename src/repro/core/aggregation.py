@@ -14,9 +14,8 @@ per-patient medians (Table I) -> cohort medians across all 45 seizures
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping, Sequence
+from typing import Iterable, Sequence
 
 import numpy as np
 

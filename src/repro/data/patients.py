@@ -18,7 +18,7 @@ to exercise the same decision surface and failure modes as the real data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..exceptions import DataError
 from .seizures import SeizureMorphology

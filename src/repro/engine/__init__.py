@@ -16,12 +16,17 @@ rows, not pool aborts — and resumable via the persistent feature store.
   path, bit-identical to batch extraction;
 * :class:`FeatureCache` — LRU memo keyed by (record, extractor, spec);
 * :class:`DiskFeatureStore` — its persistent second tier (atomic writes,
-  versioned header, load-or-recompute);
+  versioned header, load-or-recompute, size-bounded LRU eviction and
+  stale-entry GC);
+* :class:`CohortCheckpoint` — record-level run journal: a killed run
+  resumes by skipping completed records, byte-identical to an
+  uninterrupted run;
 * :class:`SelfLearningDriver` / :class:`SelfLearningTask` — the closed
   self-learning loop with its per-record labeling phase fanned out.
 """
 
 from .cache import FeatureCache, feature_cache_key
+from .checkpoint import CohortCheckpoint, config_digest, work_list_digest
 from .chunked import DEFAULT_CHUNK_S, extract_features_chunked
 from .executor import (
     ENV_EXECUTOR,
@@ -37,6 +42,7 @@ from .tasks import RecordTask, cohort_tasks
 __all__ = [
     "DEFAULT_CHUNK_S",
     "ENV_EXECUTOR",
+    "CohortCheckpoint",
     "CohortEngine",
     "CohortReport",
     "DiskFeatureStore",
@@ -48,8 +54,10 @@ __all__ = [
     "SelfLearningDriver",
     "SelfLearningTask",
     "cohort_tasks",
+    "config_digest",
     "default_executor",
     "extract_features_chunked",
     "feature_cache_key",
     "store_key_digest",
+    "work_list_digest",
 ]

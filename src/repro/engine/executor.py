@@ -21,16 +21,32 @@ Fault tolerance
 A task whose pipeline raises is captured as a failure outcome (the
 exception text is itself deterministic), so one poisoned record costs
 one row in :attr:`CohortReport.failures` instead of the whole run; the
-``max_failures`` policy restores strictness where wanted.  With a
-``store_dir`` configured, extracted feature matrices persist in a
-:class:`~repro.engine.store.DiskFeatureStore`, making interrupted runs
-resumable: the re-run skips extraction for every unchanged record.
+``max_failures`` policy restores strictness where wanted.  Outcomes
+stream back through :func:`concurrent.futures.as_completed`, so when the
+failure tolerance is crossed the engine cancels every not-yet-started
+task and raises immediately — strict mode never pays for the remainder
+of a poisoned work list, and the error still names every failure
+observed before cancellation.
+
+Durability is two-tier.  With a ``store_dir`` configured, extracted
+feature matrices persist in a
+:class:`~repro.engine.store.DiskFeatureStore`, so a re-run skips
+*extraction* for every unchanged record.  With a ``checkpoint``
+configured on :meth:`CohortEngine.run`, every completed outcome is
+journaled incrementally to a :class:`~repro.engine.checkpoint
+.CohortCheckpoint`, so a killed run skips completed *records* entirely
+on resume — and the merged report stays byte-identical to an
+uninterrupted run.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    as_completed,
+)
 from dataclasses import dataclass, field
 
 from ..core.deviation import deviation, normalized_deviation
@@ -42,6 +58,7 @@ from ..features.base import FeatureExtractor
 from ..ml.metrics import classification_report
 from ..signals.windowing import WindowSpec
 from .cache import FeatureCache
+from .checkpoint import CohortCheckpoint, config_digest, work_list_digest
 from .chunked import DEFAULT_CHUNK_S
 from .report import CohortReport, RecordOutcome
 from .store import DiskFeatureStore
@@ -97,6 +114,9 @@ class EngineConfig:
     #: and picklable; each worker opens its own handle onto the same
     #: atomically-written entries.
     store_dir: str | None = None
+    #: Size bound (bytes) for the disk store: each worker's writes evict
+    #: least-recently-used entries past the bound.  ``None``: unbounded.
+    store_max_bytes: int | None = None
 
 
 class _WorkerContext:
@@ -111,7 +131,9 @@ class _WorkerContext:
             grid_step=config.grid_step,
         )
         store = (
-            DiskFeatureStore(config.store_dir) if config.store_dir else None
+            DiskFeatureStore(config.store_dir, max_bytes=config.store_max_bytes)
+            if config.store_dir
+            else None
         )
         self.cache = FeatureCache(config.cache_capacity, store=store)
 
@@ -256,6 +278,11 @@ class CohortEngine:
         crashed or concurrent run never corrupts it), and a re-run over
         unchanged records skips extraction entirely — the resumability
         half of fault tolerance.
+    store_max_bytes:
+        Size bound for the disk store; least-recently-used entries are
+        evicted past it (``None``: unbounded).  See
+        :meth:`DiskFeatureStore.gc` / the ``repro store`` CLI for
+        offline lifecycle management.
     """
 
     def __init__(
@@ -272,6 +299,7 @@ class CohortEngine:
         cache_capacity: int = 8,
         min_overlap: float = 0.5,
         store_dir: str | None = None,
+        store_max_bytes: int | None = None,
     ) -> None:
         if executor is None:
             executor = default_executor()
@@ -281,6 +309,10 @@ class CohortEngine:
             )
         if max_workers is not None and max_workers < 1:
             raise EngineError(f"max_workers must be >= 1, got {max_workers}")
+        if store_max_bytes is not None and store_max_bytes < 1:
+            raise EngineError(
+                f"store_max_bytes must be >= 1 or None, got {store_max_bytes}"
+            )
         if not 0.0 < min_overlap <= 1.0:
             raise EngineError(
                 f"min_overlap must be in (0, 1], got {min_overlap}"
@@ -297,6 +329,7 @@ class CohortEngine:
             cache_capacity=cache_capacity,
             min_overlap=min_overlap,
             store_dir=str(store_dir) if store_dir else None,
+            store_max_bytes=store_max_bytes,
         )
         #: Serial/thread context, built lazily and reused across runs so
         #: the feature cache persists in-process.
@@ -331,6 +364,7 @@ class CohortEngine:
         duration_range_s: tuple[float, float] | None = None,
         executor: str | None = None,
         max_failures: int | None = None,
+        checkpoint: str | os.PathLike | CohortCheckpoint | None = None,
     ) -> CohortReport:
         """Process a work list (or the enumerated cohort) and aggregate.
 
@@ -344,12 +378,26 @@ class CohortEngine:
         exception is captured into a failure outcome and reported under
         :attr:`CohortReport.failures`.  ``max_failures`` bounds the
         tolerance — ``None`` (default) accepts any number of *partial*
-        failures, ``0`` restores strictness (any failure raises
-        :class:`EngineError`, after the whole work list has been
-        attempted so the error lists *every* poisoned record, not just
-        the first).  A run where every record failed always raises,
-        whatever the tolerance — a zeroed report must never pass for a
-        measured result.  An empty work list yields an empty report.
+        failures, ``0`` restores strictness.  Outcomes stream back as
+        they complete, so the moment the tolerance is crossed the engine
+        cancels every not-yet-started task and raises
+        :class:`EngineError` naming every failure observed up to that
+        point — it never pays for the remainder of a poisoned work
+        list.  A run where every record failed always raises, whatever
+        the tolerance — a zeroed report must never pass for a measured
+        result.  An empty work list yields an empty report.
+
+        ``checkpoint`` (a path or a
+        :class:`~repro.engine.checkpoint.CohortCheckpoint`) enables
+        record-level run durability: every completed outcome is
+        journaled as it streams back, tasks already journaled by a
+        previous (killed) run are skipped outright, and the merged
+        report is byte-identical to an uninterrupted run.  A journal
+        written by a different work list or engine configuration raises
+        :class:`~repro.exceptions.CheckpointError`; a corrupt or
+        stale-version journal silently resets (everything re-runs).
+        Failed tasks are never journaled and therefore always retried
+        on resume.
         """
         if executor is None:
             executor = self.executor
@@ -372,39 +420,112 @@ class CohortEngine:
         if not tasks:
             return CohortReport.from_outcomes(())
 
-        n_workers = self.effective_workers(len(tasks), executor)
-        if executor == "serial" or n_workers == 1:
-            context = self._local_context()
-            outcomes = [context.process_safe(task) for task in tasks]
-        elif executor == "thread":
-            context = self._local_context()
-            with ThreadPoolExecutor(max_workers=n_workers) as pool:
-                outcomes = list(pool.map(context.process_safe, tasks))
-        else:
-            with ProcessPoolExecutor(
-                max_workers=n_workers,
-                initializer=_init_worker,
-                initargs=(self.config,),
-            ) as pool:
-                outcomes = list(pool.map(_run_task, tasks))
-        report = CohortReport.from_outcomes(outcomes)
-        detail = "; ".join(
-            f"task {f.key}: {f.error}" for f in report.failures[:3]
-        )
-        if max_failures is not None and report.n_failures > max_failures:
-            raise EngineError(
-                f"{report.n_failures} of {len(tasks)} records failed "
-                f"(max_failures={max_failures}): {detail}"
+        journal: CohortCheckpoint | None = None
+        completed: dict[tuple[int, int, int], RecordOutcome] = {}
+        if checkpoint is not None:
+            journal = (
+                checkpoint
+                if isinstance(checkpoint, CohortCheckpoint)
+                else CohortCheckpoint(checkpoint)
             )
+            completed = journal.begin(
+                work_list_digest(tasks), config_digest(self.config)
+            )
+        pending = tuple(t for t in tasks if t.key not in completed)
+
+        outcomes = list(completed.values())
+        try:
+            outcomes += self._collect(
+                pending, executor, max_failures, journal, n_total=len(tasks)
+            )
+        finally:
+            if journal is not None:
+                journal.close()
+
+        report = CohortReport.from_outcomes(outcomes)
         if report.n_records == 0 and report.n_failures:
             # Tolerance is for partial failure; a run where *every*
             # record failed must never surface as a zeroed report that a
             # caller could mistake for a measured result.
+            detail = "; ".join(
+                f"task {f.key}: {f.error}" for f in report.failures[:3]
+            )
             raise EngineError(
                 f"every record failed ({report.n_failures} of "
                 f"{len(tasks)}): {detail}"
             )
         return report
+
+    # ------------------------------------------------------------------
+    def _collect(
+        self,
+        pending: tuple[RecordTask, ...],
+        executor: str,
+        max_failures: int | None,
+        journal: CohortCheckpoint | None,
+        n_total: int,
+    ) -> list[RecordOutcome]:
+        """Execute ``pending`` and stream outcomes back as they finish.
+
+        Each completed outcome is journaled (checkpoint flushes are
+        incremental, so a kill between any two results loses at most the
+        in-flight tasks); the failure tolerance is enforced *during*
+        collection — crossing it cancels every not-yet-started future
+        and raises immediately.
+        """
+        if not pending:
+            return []
+        n_workers = self.effective_workers(len(pending), executor)
+        outcomes: list[RecordOutcome] = []
+        failures: list[RecordOutcome] = []
+
+        def admit(outcome: RecordOutcome) -> bool:
+            """Account one streamed outcome; False to stop collecting."""
+            outcomes.append(outcome)
+            if journal is not None:
+                journal.record(outcome)
+            if outcome.failed:
+                failures.append(outcome)
+                if max_failures is not None and len(failures) > max_failures:
+                    return False
+            return True
+
+        def strict_error() -> EngineError:
+            detail = "; ".join(
+                f"task {f.key}: {f.error}" for f in failures
+            )
+            return EngineError(
+                f"{len(failures)} record(s) failed (max_failures="
+                f"{max_failures}); aborted after {len(outcomes)} of "
+                f"{n_total} tasks, cancelling the rest: {detail}"
+            )
+
+        if executor == "serial" or n_workers == 1:
+            context = self._local_context()
+            for task in pending:
+                if not admit(context.process_safe(task)):
+                    raise strict_error()
+            return outcomes
+
+        if executor == "thread":
+            pool = ThreadPoolExecutor(max_workers=n_workers)
+            run_one = self._local_context().process_safe
+        else:
+            pool = ProcessPoolExecutor(
+                max_workers=n_workers,
+                initializer=_init_worker,
+                initargs=(self.config,),
+            )
+            run_one = _run_task
+        try:
+            futures = [pool.submit(run_one, task) for task in pending]
+            for future in as_completed(futures):
+                if not admit(future.result()):
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise strict_error()
+        finally:
+            pool.shutdown(wait=True)
+        return outcomes
 
     def run_sequential(
         self,

@@ -115,8 +115,20 @@ class CohortReport:
 
     @classmethod
     def from_outcomes(cls, outcomes) -> "CohortReport":
-        """Aggregate outcomes (any order) into the canonical report."""
+        """Aggregate outcomes (any order) into the canonical report.
+
+        Task keys must be unique: a duplicate means two sources claimed
+        the same record (e.g. a checkpoint merged with a run that also
+        executed the task), and silently keeping either would skew the
+        aggregates — so it raises instead.
+        """
         everything = tuple(sorted(outcomes, key=lambda o: o.key))
+        for prev, nxt in zip(everything, everything[1:]):
+            if prev.key == nxt.key:
+                raise EngineError(
+                    f"duplicate outcome for task {nxt.key}: refusing to "
+                    f"aggregate a work list processed twice"
+                )
         ordered = tuple(o for o in everything if not o.failed)
         failures = tuple(o for o in everything if o.failed)
         if not ordered:

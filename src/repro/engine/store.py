@@ -24,6 +24,20 @@ Durability rules
   key-mismatched entry loads as ``None`` — never an exception, never a
   wrong matrix — and the caller falls back to extraction.  A broken
   store can cost time, not correctness.
+
+Lifecycle
+---------
+Long-lived shared stores accrete entries: superseded format versions,
+bit-rotted files, and working sets larger than the disk.  Three tools
+bound that growth (all exposed through the ``repro store`` CLI):
+
+* **Size-bounded LRU eviction** — construct with ``max_bytes`` and every
+  write evicts least-recently-*used* entries past the bound (loads touch
+  the entry mtime, so hot matrices survive);
+* **``verify()``** — classify every entry (ok / corrupt / stale) without
+  modifying anything;
+* **``gc()``** — delete corrupt and stale-version entries, then
+  optionally evict down to a size bound.
 """
 
 from __future__ import annotations
@@ -62,6 +76,45 @@ def _entry_checksum(header: dict, payload: bytes) -> str:
     ).hexdigest()
 
 
+def _verify_entry(
+    path: Path, version: int
+) -> tuple[str, dict | None, bytes | None]:
+    """Shared validator behind :meth:`DiskFeatureStore.load`,
+    :meth:`~DiskFeatureStore.verify` and :meth:`~DiskFeatureStore.gc`:
+    read one entry file and classify it as ``("ok", header, payload)``,
+    ``("stale", ...)`` (checksum-consistent but wrong format version, or
+    a key digest that does not match the filename — entries are
+    content-addressed) or ``("corrupt", None, None)``.  One code path,
+    so an entry `verify` reports ok is exactly an entry `load` accepts.
+    ``FileNotFoundError`` propagates: only :meth:`load` can see it (a
+    miss), scans iterate existing files.
+    """
+    try:
+        blob = path.read_bytes()
+    except FileNotFoundError:
+        raise
+    except OSError:
+        return ("corrupt", None, None)
+    newline = blob.find(b"\n")
+    if newline < 0:
+        return ("corrupt", None, None)
+    try:
+        header = json.loads(blob[:newline].decode())
+        if not isinstance(header, dict):
+            raise ValueError("header is not an object")
+    except (ValueError, UnicodeDecodeError):
+        return ("corrupt", None, None)
+    payload = blob[newline + 1 :]
+    # Verify the whole entry before trusting any header field.
+    if header.get("checksum") != _entry_checksum(header, payload):
+        return ("corrupt", None, None)
+    if header.get("version") != version or header.get("key") != path.name[
+        : -len(_ENTRY_SUFFIX)
+    ]:
+        return ("stale", header, payload)
+    return ("ok", header, payload)
+
+
 def store_key_digest(key: tuple) -> str:
     """Stable hex digest of a :func:`feature_cache_key` tuple.
 
@@ -81,6 +134,12 @@ class DiskFeatureStore:
         Directory holding the entries (created on demand).  Safe to
         share between threads, process-pool workers, and sequential
         sessions.
+    max_bytes:
+        Optional size bound: after every successful write, least-
+        recently-used entries (by mtime; loads touch it) are evicted
+        until the store fits.  The entry just written is never evicted
+        by its own save, so a bound smaller than one matrix still
+        leaves the active record cached.  ``None``: unbounded.
     """
 
     #: On-disk format version.  Bump on any layout change: old entries
@@ -88,8 +147,15 @@ class DiskFeatureStore:
     #: than misread.
     VERSION = 1
 
-    def __init__(self, root: str | os.PathLike) -> None:
+    def __init__(
+        self, root: str | os.PathLike, max_bytes: int | None = None
+    ) -> None:
         self.root = Path(root)
+        if max_bytes is not None and max_bytes < 1:
+            raise EngineError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}"
+            )
+        self.max_bytes = max_bytes
         try:
             self.root.mkdir(parents=True, exist_ok=True)
         except OSError as exc:
@@ -105,6 +171,8 @@ class DiskFeatureStore:
         #: Failed persists (disk full, permission lost mid-run) — the
         #: matrix was still returned to the caller, only durability lost.
         self.write_errors = 0
+        #: Entries deleted to keep the store under ``max_bytes``.
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     def path_for(self, key: tuple) -> Path:
@@ -114,20 +182,126 @@ class DiskFeatureStore:
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob(f"*{_ENTRY_SUFFIX}"))
 
-    def clear(self) -> None:
-        """Delete every entry (counters are kept)."""
-        for path in self.root.glob(f"*{_ENTRY_SUFFIX}"):
+    def clear(self) -> int:
+        """Delete every entry (counters are kept); returns the count."""
+        removed = 0
+        for path in self.entry_paths():
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def entry_paths(self) -> list[Path]:
+        """Every entry file, sorted by name for deterministic scans."""
+        return sorted(self.root.glob(f"*{_ENTRY_SUFFIX}"))
+
+    def total_bytes(self) -> int:
+        """Total size of all entries (bytes)."""
+        total = 0
+        for path in self.entry_paths():
+            try:
+                total += path.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _classify(self, path: Path) -> str:
+        """``"ok"`` / ``"corrupt"`` / ``"stale"`` for one entry file —
+        the exact checks :meth:`load` applies, via the shared
+        :func:`_verify_entry`."""
+        try:
+            status, _, _ = _verify_entry(path, type(self).VERSION)
+        except FileNotFoundError:
+            return "corrupt"  # deleted mid-scan: gone either way
+        return status
+
+    def verify(self) -> dict[str, int]:
+        """Scan every entry; counts of ok / corrupt / stale plus totals.
+
+        Read-only: broken entries are reported, not removed (that's
+        :meth:`gc`'s job).
+        """
+        counts = {"entries": 0, "ok": 0, "corrupt": 0, "stale": 0}
+        for path in self.entry_paths():
+            counts["entries"] += 1
+            counts[self._classify(path)] += 1
+        counts["bytes"] = self.total_bytes()
+        return counts
+
+    def gc(self, max_bytes: int | None = None) -> dict[str, int]:
+        """Remove corrupt and stale-version entries, then (optionally)
+        evict least-recently-used healthy entries down to ``max_bytes``
+        (default: the store's own bound).  Returns removal counts and
+        the surviving entry count/size.
+        """
+        if max_bytes is not None and max_bytes < 0:
+            raise EngineError(
+                f"gc max_bytes must be >= 0 or None, got {max_bytes}"
+            )
+        removed = {"corrupt": 0, "stale": 0}
+        for path in self.entry_paths():
+            status = self._classify(path)
+            if status == "ok":
+                continue
+            try:
+                path.unlink()
+                removed[status] += 1
+            except OSError:
+                pass
+        bound = self.max_bytes if max_bytes is None else max_bytes
+        evicted = self._evict_to(bound) if bound is not None else 0
+        return {
+            "removed_corrupt": removed["corrupt"],
+            "removed_stale": removed["stale"],
+            "evicted": evicted,
+            "entries": len(self),
+            "bytes": self.total_bytes(),
+        }
+
+    def _evict_to(self, max_bytes: int, keep: Path | None = None) -> int:
+        """Unlink least-recently-used entries until the store fits.
+
+        ``keep`` (the entry a save just wrote) is never evicted by that
+        save: a bound smaller than one matrix must not turn the store
+        into a write-then-delete treadmill for the active record.
+        Recency is mtime — :meth:`load` touches it on every hit, so this
+        is LRU by *use*, not by write.  Ties break on filename for
+        determinism.
+        """
+        entries = []
+        total = 0
+        for path in self.entry_paths():
+            try:
+                stat = path.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime_ns, path.name, path, stat.st_size))
+            total += stat.st_size
+        evicted = 0
+        for _, _, path, size in sorted(entries):
+            if total <= max_bytes:
+                break
+            if keep is not None and path == keep:
+                continue
             try:
                 path.unlink()
             except OSError:
-                pass
+                continue
+            total -= size
+            evicted += 1
+        if evicted:
+            with self._lock:
+                self.evictions += evicted
+        return evicted
 
     def _count(self, counter: str) -> None:
         with self._lock:
             setattr(self, counter, getattr(self, counter) + 1)
 
     def stats(self) -> dict[str, int]:
-        """Hit/miss/write/corrupt/stale/write-error counters."""
+        """Hit/miss/write/corrupt/stale/write-error/eviction counters."""
         with self._lock:
             return {
                 "hits": self.hits,
@@ -136,6 +310,7 @@ class DiskFeatureStore:
                 "corrupt": self.corrupt,
                 "stale": self.stale,
                 "write_errors": self.write_errors,
+                "evictions": self.evictions,
             }
 
     # ------------------------------------------------------------------
@@ -186,6 +361,8 @@ class DiskFeatureStore:
                 except OSError:
                     pass
         self._count("writes")
+        if self.max_bytes is not None:
+            self._evict_to(self.max_bytes, keep=path)
         return path
 
     def load(self, key: tuple) -> FeatureMatrix | None:
@@ -198,35 +375,15 @@ class DiskFeatureStore:
         """
         path = self.path_for(key)
         try:
-            blob = path.read_bytes()
+            # The filename *is* store_key_digest(key) (see path_for), so
+            # the validator's filename-vs-header key check is exactly
+            # the key check this load needs.
+            status, header, payload = _verify_entry(path, type(self).VERSION)
         except FileNotFoundError:
             self._count("misses")
             return None
-        except OSError:
-            self._count("corrupt")
-            return None
-
-        newline = blob.find(b"\n")
-        if newline < 0:
-            self._count("corrupt")
-            return None
-        try:
-            header = json.loads(blob[:newline].decode())
-            if not isinstance(header, dict):
-                raise ValueError("header is not an object")
-        except (ValueError, UnicodeDecodeError):
-            self._count("corrupt")
-            return None
-
-        payload = blob[newline + 1 :]
-        # Verify the whole entry before trusting any header field.
-        if header.get("checksum") != _entry_checksum(header, payload):
-            self._count("corrupt")
-            return None
-        if header.get("version") != type(self).VERSION or header.get(
-            "key"
-        ) != store_key_digest(key):
-            self._count("stale")
+        if status != "ok":
+            self._count(status)
             return None
 
         dtype = np.dtype(np.float64)
@@ -251,4 +408,10 @@ class DiskFeatureStore:
 
         values = np.frombuffer(payload, dtype=dtype).reshape(shape).copy()
         self._count("hits")
+        try:
+            # Touch the entry so LRU eviction tracks *use*, not just
+            # writes; best-effort (a read-only share still serves hits).
+            os.utime(path)
+        except OSError:
+            pass
         return FeatureMatrix(values=values, feature_names=names, spec=spec, fs=fs)

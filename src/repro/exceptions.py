@@ -36,6 +36,13 @@ class EngineError(ReproError):
     empty work sets (bad worker counts, unknown executor kinds, no tasks)."""
 
 
+class CheckpointError(EngineError):
+    """Raised when a run checkpoint cannot be used for the requested run —
+    the journal on disk was written by a different work list or engine
+    configuration.  (Corrupt or stale-version journals never raise: they
+    degrade to recompute, per the load-or-recompute contract.)"""
+
+
 class ModelError(ReproError):
     """Raised by the ML substrate (tree / forest / clustering) on misuse,
     e.g. predicting before fitting."""

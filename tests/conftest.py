@@ -31,3 +31,25 @@ def sample_record(dataset):
 def seizure_free_record(dataset):
     """One deterministic interictal record."""
     return dataset.generate_seizure_free(1, 120.0, 0)
+
+
+@pytest.fixture()
+def counter(monkeypatch):
+    """Counts every record the engine pipeline actually processes.
+
+    Shared by the fail-fast and checkpoint suites to assert that
+    cancelled/skipped work truly never ran.  Counts only in-process
+    execution (serial and thread backends); process-pool workers do not
+    see the patch.
+    """
+    from repro.engine import executor as executor_module
+
+    calls = {"n": 0}
+    original = executor_module._WorkerContext.process
+
+    def counting(self, task):
+        calls["n"] += 1
+        return original(self, task)
+
+    monkeypatch.setattr(executor_module._WorkerContext, "process", counting)
+    return calls

@@ -1,6 +1,5 @@
 """Tests for the command-line interface (``python -m repro``)."""
 
-import numpy as np
 import pytest
 
 from repro.cli import build_parser, main, resolve_cohort_scale
@@ -271,9 +270,95 @@ class TestCohortResumability:
         assert main(argv) == 0
         entries = list(store.glob("*.feat"))
         assert len(entries) == 4  # one persisted matrix per record
-        mtimes = {p: p.stat().st_mtime_ns for p in entries}
+        contents = {p: p.read_bytes() for p in entries}
         assert main(argv) == 0  # resumed run loads, never rewrites
-        assert {p: p.stat().st_mtime_ns for p in entries} == mtimes
+        # Content untouched byte for byte (mtimes *do* change: loads
+        # touch entries so LRU eviction tracks use).
+        assert {p: p.read_bytes() for p in entries} == contents
+
+    def _cohort_args(self, *extra):
+        return [
+            "cohort",
+            "--patients", "8",
+            "--duration-min", "5",
+            "--duration-max", "6",
+            "--executor", "serial",
+            *extra,
+        ]
+
+    def test_checkpoint_roundtrip_is_byte_identical(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        first = tmp_path / "first.json"
+        resumed = tmp_path / "resumed.json"
+        code = main(
+            self._cohort_args("--checkpoint", str(ckpt), "--json", str(first))
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 record(s) restored" in out
+        assert ckpt.exists()
+
+        code = main(
+            self._cohort_args(
+                "--checkpoint", str(ckpt), "--resume", "--json", str(resumed)
+            )
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 record(s) restored" in out
+        assert "0 processed this run" in out
+        assert first.read_bytes() == resumed.read_bytes()
+
+    def test_existing_checkpoint_without_resume_errors(self, tmp_path, capsys):
+        ckpt = tmp_path / "run.ckpt"
+        assert main(self._cohort_args("--checkpoint", str(ckpt))) == 0
+        capsys.readouterr()
+        code = main(self._cohort_args("--checkpoint", str(ckpt)))
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--resume" in err
+
+    def test_resume_requires_checkpoint(self, capsys):
+        code = main(self._cohort_args("--resume"))
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--resume requires --checkpoint" in err
+
+    def test_foreign_checkpoint_rejected(self, tmp_path, capsys):
+        # A journal from a different work list must be rejected with a
+        # clear error, not silently merged.
+        ckpt = tmp_path / "run.ckpt"
+        assert main(self._cohort_args("--checkpoint", str(ckpt))) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "cohort",
+                "--patients", "1",
+                "--duration-min", "5",
+                "--duration-max", "6",
+                "--executor", "serial",
+                "--checkpoint", str(ckpt),
+                "--resume",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "different run" in err
+
+    def test_checkpoint_on_foreign_file_errors_cleanly(
+        self, tmp_path, capsys
+    ):
+        # Resuming against a file that is not a checkpoint must refuse
+        # (and not truncate the file), even with --resume.
+        foreign = tmp_path / "notes.jsonl"
+        foreign.write_text('{"line": 1}\n')
+        code = main(
+            self._cohort_args("--checkpoint", str(foreign), "--resume")
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "not a cohort checkpoint" in err
+        assert foreign.read_text() == '{"line": 1}\n'
 
     def test_tolerated_all_failure_still_errors(self, capsys):
         # --max-failures -1 tolerates poisoned records, but an entirely
@@ -292,6 +377,78 @@ class TestCohortResumability:
         assert code == 2
         assert "every record failed" in err
         assert "too short" in err
+
+
+class TestStoreCommand:
+    """The ``repro store`` lifecycle CLI (stats / verify / gc / clear)."""
+
+    @pytest.fixture()
+    def populated(self, tmp_path):
+        store = tmp_path / "features"
+        argv = [
+            "cohort",
+            "--patients", "8",
+            "--duration-min", "5",
+            "--duration-max", "6",
+            "--executor", "serial",
+            "--store", str(store),
+        ]
+        assert main(argv) == 0
+        return store
+
+    def test_stats(self, populated, capsys):
+        capsys.readouterr()
+        assert main(["store", "stats", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 4" in out
+        assert "bytes:" in out
+
+    def test_verify_clean(self, populated, capsys):
+        capsys.readouterr()
+        assert main(["store", "verify", str(populated)]) == 0
+        assert "4 ok, 0 corrupt, 0 stale" in capsys.readouterr().out
+
+    def test_verify_flags_corruption(self, populated, capsys):
+        entry = sorted(populated.glob("*.feat"))[0]
+        entry.write_bytes(entry.read_bytes()[:30])
+        capsys.readouterr()
+        assert main(["store", "verify", str(populated)]) == 1
+        captured = capsys.readouterr()
+        assert "1 corrupt" in captured.out
+        assert "repro store gc" in captured.err
+
+    def test_gc_removes_broken_entries(self, populated, capsys):
+        entry = sorted(populated.glob("*.feat"))[0]
+        entry.write_bytes(b"junk")
+        capsys.readouterr()
+        assert main(["store", "gc", str(populated)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 corrupt" in out
+        assert len(list(populated.glob("*.feat"))) == 3
+        assert main(["store", "verify", str(populated)]) == 0
+
+    def test_gc_size_bound(self, populated, capsys):
+        size = max(p.stat().st_size for p in populated.glob("*.feat"))
+        capsys.readouterr()
+        assert main(["store", "gc", str(populated), "--max-bytes", str(size)]) == 0
+        total = sum(p.stat().st_size for p in populated.glob("*.feat"))
+        assert total <= size
+
+    def test_clear(self, populated, capsys):
+        capsys.readouterr()
+        assert main(["store", "clear", str(populated)]) == 0
+        assert "removed 4 entries" in capsys.readouterr().out
+        assert list(populated.glob("*.feat")) == []
+
+    def test_missing_directory_errors(self, tmp_path, capsys):
+        code = main(["store", "stats", str(tmp_path / "nope")])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no feature store directory" in err
+
+    def test_store_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])
 
 
 class TestLifetime:

@@ -1,6 +1,5 @@
 """Tests for custom (non-paper) cohorts through the dataset API."""
 
-import numpy as np
 import pytest
 
 from repro.core import APosterioriLabeler, deviation

@@ -1,6 +1,5 @@
 """Integration: ROC-calibrated operating point for the real-time detector."""
 
-import numpy as np
 import pytest
 
 from repro.features.extraction import extract_labeled_features

@@ -1,0 +1,465 @@
+"""Checkpoint suite: record-level resumable runs, byte-identical merges.
+
+Pins the PR 3 durability contract:
+
+* a run interrupted after N records and resumed from its journal
+  produces a ``CohortReport`` byte-identical to an uninterrupted run,
+  on every executor backend (kill-and-resume parity);
+* resume *skips* completed records (asserted via an execution counter);
+* any journal damage — truncated trailing line, flipped byte, garbage
+  or stale-version header — degrades to recompute, never a crash and
+  never a wrong report;
+* a journal written by a different work list or engine configuration is
+  rejected with :class:`CheckpointError` instead of silently merged;
+* failures are never journaled, so resumed runs retry them.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CohortCheckpoint,
+    CohortEngine,
+    RecordTask,
+    cohort_tasks,
+    config_digest,
+    work_list_digest,
+)
+from repro.engine import executor as executor_module
+from repro.exceptions import CheckpointError, EngineError
+
+POISONED = RecordTask(1, 999, 0)
+
+
+@pytest.fixture(scope="module")
+def tasks(dataset):
+    """Patient 8's four records: a small but multi-record work list."""
+    return cohort_tasks(dataset, patient_ids=[8])
+
+
+@pytest.fixture(scope="module")
+def baseline(dataset, tasks):
+    """Uninterrupted serial run: the byte-level reference."""
+    return CohortEngine(dataset, executor="serial").run(tasks).to_json()
+
+
+def interrupt_after(monkeypatch, n):
+    """Make the in-process pipeline die (KeyboardInterrupt — *not* an
+    Exception, so failure capture does not swallow it) after ``n``
+    completed records: a deterministic in-process stand-in for SIGKILL.
+    """
+    calls = {"n": 0}
+    original = executor_module._WorkerContext.process
+
+    def dying(self, task):
+        if calls["n"] >= n:
+            raise KeyboardInterrupt
+        calls["n"] += 1
+        return original(self, task)
+
+    monkeypatch.setattr(executor_module._WorkerContext, "process", dying)
+    return calls
+
+
+class TestJournalFormat:
+    def test_header_plus_one_line_per_outcome(self, dataset, tasks, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(tasks)
+        header = json.loads(lines[0])
+        assert header["kind"] == "repro-cohort-checkpoint"
+        assert header["version"] == CohortCheckpoint.VERSION
+        assert header["work"] == work_list_digest(tasks)
+        for line in lines[1:]:
+            payload = json.loads(line)
+            assert payload["outcome"]["error"] is None
+            assert payload["checksum"]
+
+    def test_outcome_count(self, dataset, tasks, tmp_path):
+        path = tmp_path / "run.ckpt"
+        journal = CohortCheckpoint(path)
+        assert journal.outcome_count() == 0
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        assert journal.outcome_count() == len(tasks)
+
+    def test_digests_are_stable_and_sensitive(self, dataset, tasks):
+        engine = CohortEngine(dataset, executor="serial")
+        assert work_list_digest(tasks) == work_list_digest(tuple(tasks))
+        assert work_list_digest(tasks) != work_list_digest(tasks[:2])
+        other = CohortEngine(dataset, executor="thread", method="fast")
+        # Scheduling knobs do not change the config digest...
+        assert config_digest(engine.config) == config_digest(other.config)
+        # ...outcome-changing knobs do.
+        reference = CohortEngine(dataset, executor="serial", method="reference")
+        assert config_digest(engine.config) != config_digest(reference.config)
+
+
+class TestResumeSkipsCompleted:
+    def test_full_journal_runs_nothing(
+        self, dataset, tasks, baseline, tmp_path, counter
+    ):
+        path = tmp_path / "run.ckpt"
+        first = CohortEngine(dataset, executor="serial")
+        first.run(tasks, checkpoint=path)
+        assert counter["n"] == len(tasks)
+
+        resumed = CohortEngine(dataset, executor="serial")
+        report = resumed.run(tasks, checkpoint=path)
+        assert counter["n"] == len(tasks)  # nothing re-processed
+        assert report.to_json() == baseline
+
+    @pytest.mark.parametrize("resume_backend", ["serial", "thread", "process"])
+    def test_kill_and_resume_parity(
+        self, dataset, tasks, baseline, tmp_path, monkeypatch, resume_backend
+    ):
+        """The acceptance criterion: interrupt after 2 of 4 records, then
+        resume on every backend — byte-identical to uninterrupted."""
+        path = tmp_path / "run.ckpt"
+        interrupt_after(monkeypatch, 2)
+        with pytest.raises(KeyboardInterrupt):
+            CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        assert CohortCheckpoint(path).outcome_count() == 2
+
+        monkeypatch.undo()  # the "new process" after the kill
+        engine = CohortEngine(
+            dataset, executor=resume_backend, max_workers=2
+        )
+        report = engine.run(tasks, checkpoint=path)
+        assert report.to_json() == baseline
+
+    def test_interrupted_thread_run_resumes(
+        self, dataset, tasks, baseline, tmp_path, monkeypatch
+    ):
+        # Same contract with the interruption under a thread pool: the
+        # journal holds whatever completed before the die, never a
+        # partial line that breaks the resume.
+        path = tmp_path / "run.ckpt"
+        interrupt_after(monkeypatch, 2)
+        engine = CohortEngine(dataset, executor="thread", max_workers=2)
+        with pytest.raises(KeyboardInterrupt):
+            engine.run(tasks, checkpoint=path)
+        monkeypatch.undo()
+        resumed = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert resumed.to_json() == baseline
+
+    def test_resume_executes_only_the_remainder(
+        self, dataset, tasks, baseline, tmp_path, counter
+    ):
+        path = tmp_path / "run.ckpt"
+        # Scoped separately so undoing the interruption keeps the
+        # counter fixture's own patch alive.
+        with pytest.MonkeyPatch.context() as interruption:
+            interrupt_after(interruption, 3)
+            with pytest.raises(KeyboardInterrupt):
+                CohortEngine(dataset, executor="serial").run(
+                    tasks, checkpoint=path
+                )
+
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert counter["n"] == len(tasks) - 3
+        assert report.to_json() == baseline
+
+    def test_checkpoint_object_can_be_passed_directly(
+        self, dataset, tasks, baseline, tmp_path
+    ):
+        journal = CohortCheckpoint(tmp_path / "run.ckpt")
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=journal
+        )
+        assert report.to_json() == baseline
+        assert journal.outcome_count() == len(tasks)
+
+
+class TestJournalCorruption:
+    """Load-or-recompute: damage costs time, never a crash or a wrong
+    report."""
+
+    def test_truncated_trailing_line_recomputes_that_task(
+        self, dataset, tasks, baseline, tmp_path, counter
+    ):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        blob = path.read_text()
+        # Simulate a crash mid-append: the last line is half-written.
+        path.write_text(blob[: len(blob) - len(blob.splitlines()[-1]) // 2 - 1])
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert counter["n"] == 1  # only the damaged task re-ran
+        assert report.to_json() == baseline
+
+    def test_flipped_byte_drops_only_that_line(
+        self, dataset, tasks, baseline, tmp_path, counter
+    ):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        lines = path.read_text().splitlines()
+        # Corrupt a digit inside the second outcome's payload.
+        lines[2] = lines[2].replace('"n_windows":', '"n_windowz":', 1)
+        path.write_text("\n".join(lines) + "\n")
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert counter["n"] == 1
+        assert report.to_json() == baseline
+
+    def test_damaged_header_resets_the_journal(
+        self, dataset, tasks, baseline, tmp_path, counter
+    ):
+        # Bit-flip inside our own header (checksum now fails, but the
+        # kind tag survives): the journal is recognizably ours and
+        # recognizably broken, so it resets.
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        lines = path.read_text().splitlines()
+        lines[0] = lines[0].replace('"work":', '"wonk":', 1)
+        path.write_text("\n".join(lines) + "\n")
+        assert CohortCheckpoint(path).outcome_count() == 0  # not restorable
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert counter["n"] == len(tasks)  # everything re-ran
+        assert report.to_json() == baseline
+        # The reset journal is healthy again: a further resume skips all.
+        counter["n"] = 0
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        assert counter["n"] == 0
+
+    def test_stale_version_resets_the_journal(
+        self, dataset, tasks, baseline, tmp_path, monkeypatch, counter
+    ):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        monkeypatch.setattr(
+            CohortCheckpoint, "VERSION", CohortCheckpoint.VERSION + 1
+        )
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert counter["n"] == len(tasks)
+        assert report.to_json() == baseline
+
+    def test_empty_file_recomputes_everything(
+        self, dataset, tasks, baseline, tmp_path
+    ):
+        path = tmp_path / "run.ckpt"
+        path.write_text("")
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert report.to_json() == baseline
+
+    def test_unterminated_tail_does_not_corrupt_the_next_append(
+        self, dataset, tasks, baseline, tmp_path
+    ):
+        # A kill mid-write leaves a partial line *without* a newline;
+        # the resume must give it its own line before appending.
+        path = tmp_path / "run.ckpt"
+        interrupted = CohortCheckpoint(path)
+        done = interrupted.begin(
+            work_list_digest(tasks),
+            config_digest(CohortEngine(dataset, executor="serial").config),
+        )
+        assert done == {}
+        interrupted.close()
+        with open(path, "a") as fh:
+            fh.write('{"outcome": {"patient_id": 8')  # no newline
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert report.to_json() == baseline
+        # And the journal is fully loadable afterwards.
+        assert CohortCheckpoint(path).outcome_count() == len(tasks)
+
+    def test_record_without_begin_raises(self, tmp_path):
+        journal = CohortCheckpoint(tmp_path / "run.ckpt")
+        with pytest.raises(CheckpointError, match="begin"):
+            journal.record(None)
+
+    def test_append_failure_costs_durability_not_the_run(
+        self, dataset, tasks, baseline, tmp_path, monkeypatch
+    ):
+        # Losing the disk mid-run (here: every append fails) must not
+        # abort a healthy cohort run — mirroring the feature store's
+        # best-effort persistence.
+        class BrokenHandle:
+            def write(self, data):
+                raise OSError(28, "No space left on device")
+
+            def flush(self):  # pragma: no cover - write raises first
+                pass
+
+            def close(self):
+                pass
+
+        original_begin = CohortCheckpoint.begin
+
+        def breaking_begin(self, work_digest, config_digest):
+            done = original_begin(self, work_digest, config_digest)
+            self._handle.close()
+            self._handle = BrokenHandle()
+            return done
+
+        monkeypatch.setattr(CohortCheckpoint, "begin", breaking_begin)
+        journal = CohortCheckpoint(tmp_path / "run.ckpt")
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=journal
+        )
+        assert report.to_json() == baseline
+        assert journal.write_errors == len(tasks)
+
+
+class TestForeignFilesAndUnopenablePaths:
+    def test_foreign_file_is_refused_not_truncated(
+        self, dataset, tasks, tmp_path
+    ):
+        # A path that holds someone else's data (here: a plausible
+        # results JSONL) must be rejected — resetting it is data loss.
+        path = tmp_path / "results.jsonl"
+        foreign = '{"experiment": "sweep-7", "auc": 0.93}\nsecond line\n'
+        path.write_text(foreign)
+        with pytest.raises(CheckpointError, match="not a cohort checkpoint"):
+            CohortEngine(dataset, executor="serial").run(
+                tasks, checkpoint=path
+            )
+        assert path.read_text() == foreign  # untouched
+
+    def test_feature_store_entry_is_refused(self, dataset, tasks, tmp_path):
+        # A disk-store entry is JSON-headed too; the kind tag keeps the
+        # two formats from ever being confused.
+        path = tmp_path / "entry.feat"
+        path.write_bytes(b'{"version": 1, "key": "abc"}\n\x00\x01')
+        with pytest.raises(CheckpointError, match="not a cohort checkpoint"):
+            CohortEngine(dataset, executor="serial").run(
+                tasks, checkpoint=path
+            )
+
+    def test_binary_foreign_file_is_refused_not_truncated(
+        self, dataset, tasks, tmp_path
+    ):
+        # A file whose bytes do not even decode (e.g. a PNG) must get
+        # the same clean refusal as a foreign text file — not a
+        # UnicodeDecodeError traceback, and never a truncation.
+        path = tmp_path / "image.png"
+        foreign = b"\x89PNG\r\n\x1a\n" + bytes(range(256)) * 8
+        path.write_bytes(foreign)
+        with pytest.raises(CheckpointError, match="not a cohort checkpoint"):
+            CohortEngine(dataset, executor="serial").run(
+                tasks, checkpoint=path
+            )
+        assert path.read_bytes() == foreign  # untouched
+
+    def test_mostly_text_binary_tail_is_refused_not_truncated(
+        self, dataset, tasks, tmp_path
+    ):
+        # The nasty case: the first line decodes (and is not ours) but
+        # later bytes do not — the file must still survive untouched.
+        path = tmp_path / "mixed.dat"
+        foreign = b'{"experiment": "sweep-7"}\n' + b"\xff\xfe" * 64
+        path.write_bytes(foreign)
+        with pytest.raises(CheckpointError, match="not a cohort checkpoint"):
+            CohortEngine(dataset, executor="serial").run(
+                tasks, checkpoint=path
+            )
+        assert path.read_bytes() == foreign
+
+    def test_binary_junk_line_in_our_journal_is_dropped(
+        self, dataset, tasks, baseline, tmp_path
+    ):
+        # Undecodable bytes *inside our own journal* are line damage,
+        # not a foreign file: that task re-runs, nothing crashes.
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        lines = path.read_bytes().splitlines()
+        lines[2] = b"\xff\xfe garbage"
+        path.write_bytes(b"\n".join(lines) + b"\n")
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert report.to_json() == baseline
+
+    def test_unopenable_checkpoint_fails_before_any_work(
+        self, dataset, tasks, tmp_path, counter
+    ):
+        # The checkpoint path is a directory: configuration error,
+        # raised cleanly before a single record is processed.
+        target = tmp_path / "ckptdir"
+        target.mkdir()
+        with pytest.raises(CheckpointError, match="cannot open"):
+            CohortEngine(dataset, executor="serial").run(
+                tasks, checkpoint=target
+            )
+        assert counter["n"] == 0
+
+
+class TestForeignJournalRejection:
+    def test_different_work_list_rejected(self, dataset, tasks, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        with pytest.raises(CheckpointError, match="different run"):
+            CohortEngine(dataset, executor="serial").run(
+                tasks[:2], checkpoint=path
+            )
+
+    def test_different_config_rejected(self, dataset, tasks, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        other = CohortEngine(dataset, executor="serial", method="reference")
+        with pytest.raises(CheckpointError, match="different run"):
+            other.run(tasks, checkpoint=path)
+
+    def test_rejection_leaves_the_journal_untouched(
+        self, dataset, tasks, tmp_path
+    ):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        before = path.read_bytes()
+        with pytest.raises(CheckpointError):
+            CohortEngine(dataset, executor="serial").run(
+                tasks[:1], checkpoint=path
+            )
+        assert path.read_bytes() == before
+
+
+class TestFailuresAndCheckpoints:
+    def test_failures_never_journaled_and_always_retried(
+        self, dataset, tasks, tmp_path, counter
+    ):
+        poisoned = tasks + (POISONED,)
+        path = tmp_path / "run.ckpt"
+        first = CohortEngine(dataset, executor="serial").run(
+            poisoned, checkpoint=path
+        )
+        assert first.n_failures == 1
+        assert CohortCheckpoint(path).outcome_count() == len(tasks)
+
+        counter["n"] = 0
+        rerun = CohortEngine(dataset, executor="serial").run(
+            poisoned, checkpoint=path
+        )
+        assert counter["n"] == 1  # only the poisoned record retried
+        assert rerun.to_json() == first.to_json()
+
+    def test_strict_abort_still_journals_the_successes(
+        self, dataset, tasks, tmp_path
+    ):
+        # Poison last: fail-fast cancels *after* the good records
+        # completed, and their outcomes must already be on disk.
+        poisoned = tasks + (POISONED,)
+        path = tmp_path / "run.ckpt"
+        with pytest.raises(EngineError, match="aborted after"):
+            CohortEngine(dataset, executor="serial").run(
+                poisoned, checkpoint=path, max_failures=0
+            )
+        assert CohortCheckpoint(path).outcome_count() == len(tasks)

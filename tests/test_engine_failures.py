@@ -102,15 +102,30 @@ class TestFailureCapture:
 
 
 class TestMaxFailuresPolicy:
-    def test_zero_raises_after_full_attempt(self, dataset):
-        # Strict mode still attempts every task, so the error names all
-        # poisoned records instead of aborting at the first.
-        with pytest.raises(EngineError, match="2 of 5 records failed"):
+    def test_zero_fails_fast(self, dataset):
+        # Strict mode aborts the moment the tolerance is crossed; MIXED
+        # hits its first poisoned record at task 4 of 5, so the run
+        # never pays for the remainder.
+        with pytest.raises(
+            EngineError, match=r"aborted after 4 of 5 tasks"
+        ):
             CohortEngine(dataset, executor="serial").run(MIXED, max_failures=0)
 
     def test_error_names_the_poisoned_tasks(self, dataset):
         with pytest.raises(EngineError, match="no seizure 999"):
             CohortEngine(dataset, executor="serial").run(MIXED, max_failures=1)
+
+    def test_error_lists_every_failure_observed_before_cancellation(
+        self, dataset
+    ):
+        # max_failures=1 tolerates the first poisoned record and aborts
+        # on the second — and the message must still name *both*.
+        with pytest.raises(EngineError) as excinfo:
+            CohortEngine(dataset, executor="serial").run(MIXED, max_failures=1)
+        message = str(excinfo.value)
+        assert "no seizure 999" in message
+        assert "too short" in message
+        assert "2 record(s) failed" in message
 
     def test_threshold_at_failure_count_passes(self, dataset):
         report = CohortEngine(dataset, executor="serial").run(
@@ -121,6 +136,43 @@ class TestMaxFailuresPolicy:
     def test_negative_rejected(self, dataset):
         with pytest.raises(EngineError, match="max_failures"):
             CohortEngine(dataset, executor="serial").run(MIXED, max_failures=-1)
+
+
+class TestFailFastCancellation:
+    """Crossing ``max_failures`` must stop paying for the work list —
+    the ISSUE acceptance criterion, asserted via an execution counter."""
+
+    # Uses the shared `counter` fixture (tests/conftest.py): counts
+    # every record the in-process pipeline actually executes.
+
+    def _poison_first(self, n_good: int) -> tuple[RecordTask, ...]:
+        # The poisoned record leads the work list; every patient-1 task
+        # after it is healthy filler the engine must never touch.
+        return (POISONED,) + tuple(
+            RecordTask(1, 0, k) for k in range(n_good)
+        )
+
+    def test_serial_stops_at_first_failure(self, dataset, counter):
+        tasks = self._poison_first(6)
+        with pytest.raises(EngineError, match="aborted after 1 of 7"):
+            CohortEngine(dataset, executor="serial").run(tasks, max_failures=0)
+        assert counter["n"] == 1
+
+    def test_thread_pool_cancels_remainder(self, dataset, counter):
+        # One worker makes the streaming order deterministic: the first
+        # completed future is the poisoned one, everything else must be
+        # cancelled before it starts.
+        tasks = self._poison_first(6)
+        engine = CohortEngine(dataset, max_workers=1, executor="thread")
+        with pytest.raises(EngineError, match="cancelling the rest"):
+            engine.run(tasks, max_failures=0)
+        assert counter["n"] < len(tasks)
+
+    def test_tolerant_run_still_attempts_everything(self, dataset, counter):
+        tasks = self._poison_first(2)
+        report = CohortEngine(dataset, executor="serial").run(tasks)
+        assert counter["n"] == len(tasks)
+        assert report.n_failures == 1
 
 
 class TestFailureOutcomeShape:

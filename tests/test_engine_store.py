@@ -6,6 +6,7 @@ the two-tier interaction with :class:`FeatureCache`.
 """
 
 import json
+import os
 import threading
 
 import numpy as np
@@ -53,7 +54,7 @@ class TestRoundTrip:
         assert loaded.fs == feats.fs
         assert store.stats() == {
             "hits": 1, "misses": 0, "writes": 1, "corrupt": 0, "stale": 0,
-            "write_errors": 0,
+            "write_errors": 0, "evictions": 0,
         }
         assert len(store) == 1
 
@@ -211,6 +212,160 @@ class TestConcurrentWriters:
         assert header["shape"] == list(feats.values.shape)
 
 
+def _fill(store, feats, key, n, start_mtime=1_000_000_000):
+    """Save ``n`` distinct entries with deterministic, increasing mtimes
+    (tuple-extended keys; explicit utimes avoid timestamp-resolution
+    flakes when ordering by recency)."""
+    keys = [key + (f"fill-{i}",) for i in range(n)]
+    for i, k in enumerate(keys):
+        store.save(k, feats)
+        ts = start_mtime + i
+        os.utime(store.path_for(k), (ts, ts))
+    return keys
+
+
+class TestSizeBoundedEviction:
+    def entry_size(self, tmp_path, feats, key):
+        probe = DiskFeatureStore(tmp_path / "probe")
+        probe.save(key, feats)
+        return probe.path_for(key).stat().st_size
+
+    def test_bound_enforced_on_save(self, tmp_path, feats, key):
+        size = self.entry_size(tmp_path, feats, key)
+        store = DiskFeatureStore(tmp_path / "s", max_bytes=2 * size)
+        _fill(store, feats, key, 4)
+        assert len(store) <= 2
+        assert store.total_bytes() <= 2 * size
+        assert store.stats()["evictions"] == 2
+
+    def test_oldest_evicted_first(self, tmp_path, feats, key):
+        size = self.entry_size(tmp_path, feats, key)
+        store = DiskFeatureStore(tmp_path / "s", max_bytes=3 * size)
+        keys = _fill(store, feats, key, 3)
+        extra = key + ("extra",)
+        store.save(extra, feats)
+        assert store.load(keys[0]) is None  # oldest gone
+        assert store.load(keys[2]) is not None
+        assert store.load(extra) is not None
+
+    def test_load_touch_protects_hot_entries(self, tmp_path, feats, key):
+        # LRU by *use*: loading the oldest entry must move it to the
+        # back of the eviction queue, so the save evicts the untouched
+        # middle entry instead.
+        size = self.entry_size(tmp_path, feats, key)
+        store = DiskFeatureStore(tmp_path / "s", max_bytes=3 * size)
+        keys = _fill(store, feats, key, 3)
+        assert store.load(keys[0]) is not None  # touches mtime to "now"
+        store.save(key + ("extra",), feats)
+        assert store.load(keys[0]) is not None  # survived: recently used
+        assert store.load(keys[1]) is None  # evicted: least recently used
+
+    def test_new_entry_never_self_evicts(self, tmp_path, feats, key):
+        size = self.entry_size(tmp_path, feats, key)
+        store = DiskFeatureStore(tmp_path / "s", max_bytes=size // 2)
+        store.save(key, feats)
+        # The bound cannot hold even one matrix, but the write that just
+        # happened must survive its own eviction pass.
+        assert store.load(key) is not None
+        assert len(store) == 1
+
+    def test_unbounded_by_default(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path / "s")
+        _fill(store, feats, key, 4)
+        assert len(store) == 4
+        assert store.stats()["evictions"] == 0
+
+    def test_invalid_bound_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="max_bytes"):
+            DiskFeatureStore(tmp_path / "s", max_bytes=0)
+
+
+class TestVerifyAndGC:
+    def test_verify_classifies_entries(self, tmp_path, feats, key, monkeypatch):
+        store = DiskFeatureStore(tmp_path)
+        keys = _fill(store, feats, key, 3)
+        clean = store.verify()
+        assert clean["entries"] == 3 and clean["ok"] == 3
+        assert clean["bytes"] == store.total_bytes()
+
+        # One corrupt (truncated), one stale (old version header).
+        path = store.path_for(keys[0])
+        path.write_bytes(path.read_bytes()[:50])
+        monkeypatch.setattr(
+            DiskFeatureStore, "VERSION", DiskFeatureStore.VERSION + 1
+        )
+        fresh = DiskFeatureStore(tmp_path)
+        counts = fresh.verify()
+        assert counts["corrupt"] == 1
+        assert counts["stale"] == 2  # the two healthy-but-old entries
+        assert counts["ok"] == 0
+
+    def test_renamed_entry_is_stale(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        store.save(key, feats)
+        path = store.path_for(key)
+        path.rename(path.with_name("0" * 32 + ".feat"))
+        assert store.verify()["stale"] == 1
+
+    def test_gc_removes_broken_keeps_healthy(
+        self, tmp_path, feats, key, monkeypatch
+    ):
+        store = DiskFeatureStore(tmp_path)
+        keys = _fill(store, feats, key, 3)
+        path = store.path_for(keys[0])
+        path.write_bytes(b"garbage, no newline")
+
+        # A stale entry: written under an older format version.
+        monkeypatch.setattr(
+            DiskFeatureStore, "VERSION", DiskFeatureStore.VERSION + 1
+        )
+        fresh = DiskFeatureStore(tmp_path)
+        fresh.save(key + ("new",), feats)  # healthy under the new version
+        result = fresh.gc()
+        assert result["removed_corrupt"] == 1
+        assert result["removed_stale"] == 2
+        assert result["entries"] == 1
+        assert fresh.load(key + ("new",)) is not None
+
+    def test_gc_size_bound_evicts_lru(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        keys = _fill(store, feats, key, 3)
+        size = store.path_for(keys[0]).stat().st_size
+        result = store.gc(max_bytes=size)
+        assert result["evicted"] == 2
+        assert result["entries"] == 1
+        assert store.load(keys[2]) is not None  # newest survives
+
+    def test_gc_negative_bound_rejected(self, tmp_path):
+        with pytest.raises(EngineError, match="max_bytes"):
+            DiskFeatureStore(tmp_path).gc(max_bytes=-1)
+
+    def test_clear_reports_count(self, tmp_path, feats, key):
+        store = DiskFeatureStore(tmp_path)
+        _fill(store, feats, key, 3)
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_engine_respects_store_bound(self, dataset, tmp_path):
+        # End to end through the engine: a bounded store never grows
+        # past its limit, and the run's report is unaffected.
+        from repro.engine import CohortEngine
+
+        base = CohortEngine(dataset, executor="serial").run(
+            patient_ids=[8]
+        )
+        bounded = CohortEngine(
+            dataset,
+            executor="serial",
+            store_dir=str(tmp_path / "s"),
+            store_max_bytes=1,  # cannot hold even one matrix
+        )
+        report = bounded.run(patient_ids=[8])
+        assert report.to_json() == base.to_json()
+        store = DiskFeatureStore(tmp_path / "s")
+        assert len(store) <= 1  # only the most recent write survives
+
+
 class TestCacheIntegration:
     def test_cold_then_restored(self, tmp_path, sample_record, extractor):
         store = DiskFeatureStore(tmp_path)
@@ -226,7 +381,7 @@ class TestCacheIntegration:
         assert np.array_equal(restored.values, first.values)
         assert store2.stats() == {
             "hits": 1, "misses": 0, "writes": 0, "corrupt": 0, "stale": 0,
-            "write_errors": 0,
+            "write_errors": 0, "evictions": 0,
         }
         # Second access is a pure memory hit; disk untouched.
         cache2.get_or_extract(sample_record, extractor, SPEC)

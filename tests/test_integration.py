@@ -1,14 +1,11 @@
 """Cross-module integration tests: the paper's end-to-end paths."""
 
-import numpy as np
-import pytest
 
 from repro import (
     APosterioriLabeler,
     EEGRecord,
     Paper10FeatureExtractor,
     RealTimeDetector,
-    SyntheticEEGDataset,
     build_balanced_training_set,
     deviation,
     load_record,

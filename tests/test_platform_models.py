@@ -11,7 +11,6 @@ from repro.platform.battery import (
     labeling_duty_cycle,
 )
 from repro.platform.mcu import (
-    ADS1299,
     PAPER_BATTERY,
     STM32L151,
     AnalogFrontEnd,

@@ -9,7 +9,6 @@ and battery-model monotonicity.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
@@ -195,8 +194,20 @@ class TestEngineChunkedProperties:
         grid_step = data.draw(st.integers(min_value=1, max_value=6))
         ref = a_posteriori_reference(feats, window, grid_step=grid_step)
         fast = a_posteriori_fast(feats, window, grid_step=grid_step)
-        assert fast.position == ref.position
         assert np.allclose(fast.distances, ref.distances, atol=1e-9)
+        if fast.position != ref.position:
+            # The two computations round differently (decomposed vs
+            # direct sums), so when two candidate positions are
+            # *numerically tied* their argmaxes may legitimately part
+            # ways — hypothesis finds records where two distances agree
+            # to the last few ulps.  Any position disagreement beyond
+            # such a tie is still a real bug.
+            assert np.isclose(
+                ref.distances[fast.position],
+                ref.distances[ref.position],
+                rtol=1e-9,
+                atol=1e-9,
+            )
 
     @given(
         seed=st.integers(min_value=0, max_value=2**31),
