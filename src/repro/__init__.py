@@ -55,16 +55,23 @@ from .engine import (
     SelfLearningTask,
     cohort_tasks,
     extract_features_chunked,
+    extract_features_from_source,
+    merge_checkpoints,
 )
 from .data import (
+    ArrayRecordSource,
+    EDFRecordSource,
     EEGRecord,
     PAPER_PATIENTS,
     PatientProfile,
+    RecordSource,
     SeizureAnnotation,
     SyntheticEEGDataset,
+    SyntheticRecordSource,
     iter_evaluation_samples,
     load_record,
     patient_by_id,
+    record_content_digest,
     save_record,
 )
 from .features import (
@@ -128,15 +135,22 @@ __all__ = [
     "SelfLearningTask",
     "cohort_tasks",
     "extract_features_chunked",
+    "extract_features_from_source",
+    "merge_checkpoints",
     # data
+    "ArrayRecordSource",
+    "EDFRecordSource",
     "EEGRecord",
     "PAPER_PATIENTS",
     "PatientProfile",
+    "RecordSource",
     "SeizureAnnotation",
     "SyntheticEEGDataset",
+    "SyntheticRecordSource",
     "iter_evaluation_samples",
     "load_record",
     "patient_by_id",
+    "record_content_digest",
     "save_record",
     # features
     "EGlassFeatureExtractor",

@@ -11,7 +11,12 @@ code:
 * ``cohort``   — fan the full evaluation out across a worker pool (the
   :mod:`repro.engine` executor) and print the Table I/II-style rollup;
   ``--checkpoint``/``--resume`` journal per-record outcomes so a killed
-  run resumes without repeating completed records;
+  run resumes without repeating completed records; ``--chunk-s`` tunes
+  the streaming data plane's chunk size (results are identical at any
+  value — only the memory/IO granularity changes); ``--compact``
+  rewrites a long-lived journal from its parsed outcomes;
+* ``checkpoint`` — journal tooling: ``merge`` combines shard journals of
+  one work list into a single resumable checkpoint;
 * ``store``    — lifecycle management for a persistent feature store
   directory (``stats`` / ``verify`` / ``gc`` / ``clear``);
 * ``lifetime`` — evaluate the wearable battery model at a given seizure
@@ -35,7 +40,17 @@ from .data.sampling import (
     duration_range_from_env,
     samples_per_seizure_from_env,
 )
-from .engine import CohortCheckpoint, CohortEngine, DiskFeatureStore, default_executor
+from .engine import (
+    DEFAULT_CHUNK_S,
+    CohortCheckpoint,
+    CohortEngine,
+    DiskFeatureStore,
+    cohort_tasks,
+    config_digest,
+    default_executor,
+    merge_checkpoints,
+    work_list_digest,
+)
 from .exceptions import ReproError
 from .platform.battery import WearablePlatform
 
@@ -170,10 +185,73 @@ def build_parser() -> argparse.ArgumentParser:
         "work list was attempted; -1: unlimited)",
     )
     p_cohort.add_argument(
+        "--chunk-s",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="streaming chunk size of the engine data plane (default "
+        f"{DEFAULT_CHUNK_S:g}); any positive value produces a "
+        "byte-identical report — smaller chunks only lower the "
+        "per-worker signal memory bound",
+    )
+    p_cohort.add_argument(
+        "--compact",
+        action="store_true",
+        help="rewrite the --checkpoint journal from its parsed outcomes "
+        "(drops partial/duplicate/corrupt lines, preserves the "
+        "work/config digests) and exit without running",
+    )
+    p_cohort.add_argument(
         "--json",
         default="",
         metavar="PATH",
         help="also write the canonical CohortReport JSON to this file",
+    )
+
+    p_ckpt = sub.add_parser(
+        "checkpoint", help="cohort checkpoint journal tooling"
+    )
+    ckpt_sub = p_ckpt.add_subparsers(dest="checkpoint_command", required=True)
+    p_merge = ckpt_sub.add_parser(
+        "merge",
+        help="merge shard journals of one work list into a single "
+        "resumable checkpoint",
+    )
+    p_merge.add_argument(
+        "sources",
+        nargs="+",
+        metavar="SHARD",
+        help="shard checkpoint files to merge (all must share one "
+        "engine-configuration digest)",
+    )
+    p_merge.add_argument(
+        "--out",
+        required=True,
+        metavar="PATH",
+        help="destination checkpoint (must not exist; written atomically)",
+    )
+    p_merge.add_argument(
+        "--patients",
+        default="",
+        help="the merged run's cohort filter (as for `repro cohort`); "
+        "any scale flag switches the merged journal's work digest to "
+        "the full work list those flags describe",
+    )
+    p_merge.add_argument(
+        "--samples", type=int, default=None,
+        help="samples per seizure of the merged run (as for cohort)",
+    )
+    p_merge.add_argument(
+        "--duration-min", type=float, default=None,
+        help="minimum record duration in minutes (as for cohort)",
+    )
+    p_merge.add_argument(
+        "--duration-max", type=float, default=None,
+        help="maximum record duration in minutes (as for cohort)",
+    )
+    p_merge.add_argument(
+        "--paper-scale", action="store_true",
+        help="merged run at Sec. VI-A paper scale (as for cohort)",
     )
 
     p_store = sub.add_parser(
@@ -288,6 +366,24 @@ def resolve_cohort_scale(
     return samples, (lo, hi)
 
 
+def _parse_patient_ids(text: str) -> list[int] | None:
+    """Parse a ``--patients`` filter; ``None`` means the full cohort.
+
+    Raises ``ValueError`` for unparseable ids *and* for lists that parse
+    to nothing ("," / ", ,"): a typo'd filter must not run an empty
+    cohort successfully.
+    """
+    if not text.strip():
+        return None
+    try:
+        patient_ids = [int(p) for p in text.split(",") if p.strip()]
+    except ValueError:
+        patient_ids = []
+    if not patient_ids:
+        raise ValueError(f"bad --patients list {text!r}")
+    return patient_ids
+
+
 def _cmd_cohort(args: argparse.Namespace) -> int:
     try:
         samples, duration_range_s = resolve_cohort_scale(args)
@@ -300,24 +396,35 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
     if samples < 1:
         print("error: --samples must be >= 1", file=sys.stderr)
         return 2
-    patient_ids = None
-    if args.patients.strip():
-        try:
-            patient_ids = [int(p) for p in args.patients.split(",") if p.strip()]
-        except ValueError:
-            patient_ids = []
-        if not patient_ids:
-            # Covers both unparseable ids and lists that parse to
-            # nothing ("," / ", ,"): a typo'd filter must not run an
-            # empty cohort successfully.
-            print(f"error: bad --patients list {args.patients!r}", file=sys.stderr)
-            return 2
+    if args.chunk_s is not None and args.chunk_s <= 0:
+        print("error: --chunk-s must be positive", file=sys.stderr)
+        return 2
+    try:
+        patient_ids = _parse_patient_ids(args.patients)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
+        return 2
+    if args.compact and not args.checkpoint:
+        print("error: --compact requires --checkpoint", file=sys.stderr)
         return 2
     checkpoint = None
     if args.checkpoint:
         checkpoint = CohortCheckpoint(args.checkpoint)
+        if args.compact:
+            try:
+                result = checkpoint.compact()
+            except ReproError as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
+            print(
+                f"checkpoint {args.checkpoint}: kept {result['kept']} "
+                f"outcome(s), dropped {result['dropped']} dead line(s), "
+                f"{result['bytes']} bytes"
+            )
+            return 0
         if checkpoint.path.exists() and not args.resume:
             print(
                 f"error: checkpoint {args.checkpoint} already exists; "
@@ -333,6 +440,7 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
             dataset,
             max_workers=args.workers,
             executor=executor,
+            chunk_s=args.chunk_s if args.chunk_s is not None else DEFAULT_CHUNK_S,
             store_dir=args.store or None,
         )
         resumed_records = checkpoint.outcome_count() if checkpoint else 0
@@ -400,6 +508,63 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    # Any scale/filter flag means "the merged journal must resume the
+    # full work list those flags describe": rebuild the exact task list
+    # and engine configuration the way `repro cohort` would, and pin
+    # both digests.  With no flags, the shards must already agree on one
+    # work digest (e.g. copies of a single journal).
+    wants_scale = (
+        args.samples is not None
+        or args.duration_min is not None
+        or args.duration_max is not None
+        or args.paper_scale
+        or bool(args.patients.strip())
+    )
+    work_digest = None
+    expected_config = None
+    if wants_scale:
+        try:
+            samples, duration_range_s = resolve_cohort_scale(args)
+            patient_ids = _parse_patient_ids(args.patients)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        if duration_range_s[0] <= 0 or duration_range_s[1] < duration_range_s[0]:
+            print("error: invalid duration range", file=sys.stderr)
+            return 2
+        if samples < 1:
+            print("error: --samples must be >= 1", file=sys.stderr)
+            return 2
+        try:
+            dataset = SyntheticEEGDataset(duration_range_s=duration_range_s)
+            engine = CohortEngine(dataset, executor="serial")
+            tasks = cohort_tasks(
+                dataset, samples_per_seizure=samples, patient_ids=patient_ids
+            )
+            work_digest = work_list_digest(tasks)
+            expected_config = config_digest(engine.config)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    try:
+        result = merge_checkpoints(
+            args.out,
+            args.sources,
+            work_digest=work_digest,
+            expected_config=expected_config,
+        )
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {result['sources']} shard journal(s) into {args.out}: "
+        f"{result['outcomes']} outcome(s), {result['duplicates']} "
+        f"duplicate(s) collapsed, {result['dropped']} dead line(s) dropped"
+    )
+    return 0
+
+
 def _cmd_store(args: argparse.Namespace) -> int:
     if not os.path.isdir(args.dir):
         print(f"error: no feature store directory at {args.dir}", file=sys.stderr)
@@ -463,6 +628,7 @@ def main(argv: list[str] | None = None) -> int:
         "label": _cmd_label,
         "simulate": _cmd_simulate,
         "cohort": _cmd_cohort,
+        "checkpoint": _cmd_checkpoint,
         "store": _cmd_store,
         "lifetime": _cmd_lifetime,
     }

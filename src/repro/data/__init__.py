@@ -5,15 +5,32 @@ rationale): a deterministic synthetic cohort of 9 patients / 45 seizures
 with paper-matched structure, plus EDF-format persistence.
 """
 
-from .artifacts import ArtifactSpec, generate_artifact, inject_artifact
+from .artifacts import (
+    ArtifactSpec,
+    artifact_waveforms,
+    generate_artifact,
+    inject_artifact,
+)
 from .dataset import SeizureEvent, SyntheticEEGDataset
 from .edf import (
+    EDFHeader,
     load_record,
     read_edf,
+    read_edf_header,
     read_summary,
     save_record,
     write_edf,
     write_summary,
+)
+from .sources import (
+    DEFAULT_SOURCE_CHUNK_S,
+    ArrayRecordSource,
+    EDFRecordSource,
+    RecordSource,
+    SignalPatch,
+    SyntheticRecordSource,
+    rechunk,
+    record_content_digest,
 )
 from .montage import (
     ELECTRODES_1020,
@@ -36,20 +53,38 @@ from .sampling import (
     samples_per_seizure_from_env,
 )
 from .seizures import SeizureMorphology, generate_ictal, insert_seizure
-from .synthetic import BackgroundEEGModel, pink_noise, smooth_envelope
+from .synthetic import (
+    GEN_BLOCK_S,
+    BackgroundEEGModel,
+    block_spans,
+    draw_block_entropy,
+    pink_noise,
+    smooth_envelope,
+)
 
 __all__ = [
     "ArtifactSpec",
+    "artifact_waveforms",
     "generate_artifact",
     "inject_artifact",
     "SeizureEvent",
     "SyntheticEEGDataset",
+    "EDFHeader",
     "load_record",
     "read_edf",
+    "read_edf_header",
     "read_summary",
     "save_record",
     "write_edf",
     "write_summary",
+    "DEFAULT_SOURCE_CHUNK_S",
+    "ArrayRecordSource",
+    "EDFRecordSource",
+    "RecordSource",
+    "SignalPatch",
+    "SyntheticRecordSource",
+    "rechunk",
+    "record_content_digest",
     "ELECTRODES_1020",
     "F7T3",
     "F8T4",
@@ -72,7 +107,10 @@ __all__ = [
     "SeizureMorphology",
     "generate_ictal",
     "insert_seizure",
+    "GEN_BLOCK_S",
     "BackgroundEEGModel",
+    "block_spans",
+    "draw_block_entropy",
     "pink_noise",
     "smooth_envelope",
 ]

@@ -25,7 +25,7 @@ from scipy import signal as _sig
 from ..exceptions import DataError
 from .synthetic import smooth_envelope
 
-__all__ = ["ArtifactSpec", "generate_artifact", "inject_artifact"]
+__all__ = ["ArtifactSpec", "artifact_waveforms", "generate_artifact", "inject_artifact"]
 
 _KINDS = ("muscle", "movement", "rhythmic", "pop")
 
@@ -125,6 +125,39 @@ def generate_artifact(
     return peak * wave / maxabs
 
 
+def artifact_waveforms(
+    spec: ArtifactSpec,
+    fs: float,
+    background_rms_uv: float,
+    rng: np.random.Generator,
+    n_channels: int,
+    n_samples: int,
+) -> list[tuple[int, int, np.ndarray]]:
+    """The per-channel additive patches one burst injects.
+
+    Returns ``(channel, start_sample, waveform)`` triples in the exact
+    channel (and hence RNG-draw) order :func:`inject_artifact` uses, so a
+    streaming record source can precompute the small burst waveforms once
+    and mix them into signal chunks bit-identically to batch injection.
+    """
+    i0 = int(round(spec.start_s * fs))
+    n = int(round(spec.duration_s * fs))
+    if i0 < 0 or i0 + n > n_samples:
+        raise DataError(
+            f"artifact [{spec.start_s}s, +{spec.duration_s}s] does not fit in "
+            f"record of {n_samples / fs:.1f}s"
+        )
+    channels = spec.channels if spec.channels is not None else tuple(range(n_channels))
+    patches = []
+    for ch in channels:
+        if not 0 <= ch < n_channels:
+            raise DataError(f"artifact channel {ch} out of range")
+        patches.append(
+            (ch, i0, generate_artifact(spec, fs, background_rms_uv, rng))
+        )
+    return patches
+
+
 def inject_artifact(
     data: np.ndarray,
     spec: ArtifactSpec,
@@ -139,17 +172,9 @@ def inject_artifact(
     """
     if data.ndim != 2:
         raise DataError(f"data must be (channels, samples), got {data.shape}")
-    i0 = int(round(spec.start_s * fs))
-    n = int(round(spec.duration_s * fs))
-    if i0 < 0 or i0 + n > data.shape[1]:
-        raise DataError(
-            f"artifact [{spec.start_s}s, +{spec.duration_s}s] does not fit in "
-            f"record of {data.shape[1] / fs:.1f}s"
-        )
-    channels = spec.channels if spec.channels is not None else tuple(range(data.shape[0]))
     out = data.copy()
-    for ch in channels:
-        if not 0 <= ch < data.shape[0]:
-            raise DataError(f"artifact channel {ch} out of range")
-        out[ch, i0 : i0 + n] += generate_artifact(spec, fs, background_rms_uv, rng)
+    for ch, i0, wave in artifact_waveforms(
+        spec, fs, background_rms_uv, rng, data.shape[0], data.shape[1]
+    ):
+        out[ch, i0 : i0 + wave.size] += wave
     return out

@@ -26,10 +26,12 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import DataError
-from .artifacts import ArtifactSpec, inject_artifact
+from .artifacts import ArtifactSpec, artifact_waveforms
 from .patients import PAPER_PATIENTS, PatientProfile
 from .records import EEGRecord, SeizureAnnotation
-from .seizures import generate_ictal, insert_seizure
+from .seizures import generate_ictal, insert_seizure, seizure_overlay
+from .sources import SignalPatch, SyntheticRecordSource
+from .synthetic import draw_block_entropy
 
 __all__ = ["SeizureEvent", "SyntheticEEGDataset"]
 
@@ -157,20 +159,21 @@ class SyntheticEEGDataset:
     # ------------------------------------------------------------------
     # Record generation
     # ------------------------------------------------------------------
-    def generate_sample(
+    def sample_source(
         self,
         patient_id: int,
         seizure_index: int,
         sample_index: int = 0,
         duration_range_s: tuple[float, float] | None = None,
-    ) -> EEGRecord:
-        """One Sec. VI-A test sample: a record with exactly one seizure.
+    ) -> SyntheticRecordSource:
+        """The streaming form of one Sec. VI-A test sample.
 
-        Record duration is drawn uniformly from ``duration_range_s``; the
-        seizure is placed uniformly at random inside it (away from the very
-        edges so the whole event is contained).  If the cohort profile
-        schedules an artifact near this seizure, the burst is injected at
-        the configured offset, clamped into the record.
+        Builds the record's *recipe* — placement draws, the background
+        block-entropy key, and the small precomputed seizure/artifact
+        overlays — without generating a single background sample, so the
+        cohort engine can stream a multi-hour record in bounded chunks.
+        :meth:`generate_sample` is exactly ``sample_source(...)
+        .materialize()``; the two can never drift apart.
         """
         prof = self.profile(patient_id)
         event = self.event(patient_id, seizure_index)
@@ -188,40 +191,74 @@ class SyntheticEEGDataset:
         margin_s = max(10.0, 0.02 * duration_s)
         onset_s = float(rng.uniform(margin_s, duration_s - seiz_s - margin_s))
 
-        background = prof.background.generate(duration_s, self.fs, rng)
-        bg_rms = float(background.std())
+        n_samples = int(round(duration_s * self.fs))
+        entropy = draw_block_entropy(rng)
+        # The deterministic background level: streaming must never need a
+        # full-record pass just to scale the overlays.
+        bg_rms = prof.background.nominal_rms()
+
         ictal = generate_ictal(seiz_s, self.fs, prof.morphology, bg_rms, rng)
-        data = insert_seizure(
-            background, ictal, int(round(onset_s * self.fs)), self.fs
-        )
+        onset_sample = int(round(onset_s * self.fs))
+        overlay = seizure_overlay(ictal, self.fs)
+        if onset_sample < 0 or onset_sample + overlay.shape[1] > n_samples:
+            raise DataError(
+                f"seizure [{onset_sample}, {onset_sample + overlay.shape[1]}) "
+                f"does not fit in record of {n_samples} samples"
+            )
+        patches = [
+            SignalPatch(ch, onset_sample, overlay[ch])
+            for ch in range(overlay.shape[0])
+        ]
 
         if event.has_artifact:
-            data = self._inject_outlier_artifact(
-                data, prof, onset_s, seiz_s, duration_s, bg_rms, rng
+            patches += self._outlier_artifact_patches(
+                prof, onset_s, seiz_s, duration_s, bg_rms, rng, n_samples
             )
-        data = self._inject_clutter(
-            data, prof, onset_s, seiz_s, duration_s, bg_rms, rng
+        patches += self._clutter_patches(
+            prof, onset_s, seiz_s, duration_s, bg_rms, rng, n_samples
         )
 
         ann = SeizureAnnotation(onset_s=onset_s, offset_s=onset_s + seiz_s)
-        return EEGRecord(
-            data=data,
+        return SyntheticRecordSource(
+            model=prof.background,
+            entropy=entropy,
+            n_samples=n_samples,
             fs=self.fs,
-            annotations=[ann],
+            patches=tuple(patches),
+            annotations=(ann,),
             patient_id=f"P{patient_id:02d}",
             record_id=f"P{patient_id:02d}_S{seizure_index:02d}_R{sample_index:03d}",
         )
 
-    def _inject_outlier_artifact(
+    def generate_sample(
         self,
-        data: np.ndarray,
+        patient_id: int,
+        seizure_index: int,
+        sample_index: int = 0,
+        duration_range_s: tuple[float, float] | None = None,
+    ) -> EEGRecord:
+        """One Sec. VI-A test sample: a record with exactly one seizure.
+
+        Record duration is drawn uniformly from ``duration_range_s``; the
+        seizure is placed uniformly at random inside it (away from the very
+        edges so the whole event is contained).  If the cohort profile
+        schedules an artifact near this seizure, the burst is injected at
+        the configured offset, clamped into the record.
+        """
+        return self.sample_source(
+            patient_id, seizure_index, sample_index, duration_range_s
+        ).materialize()
+
+    def _outlier_artifact_patches(
+        self,
         prof: PatientProfile,
         onset_s: float,
         seiz_s: float,
         duration_s: float,
         bg_rms: float,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+        n_samples: int,
+    ) -> list[SignalPatch]:
         """Place the Table-II label-stealing burst near the seizure."""
         burst_s = prof.effective_artifact_duration_s
         start = onset_s + prof.artifact_offset_s
@@ -234,31 +271,37 @@ class SyntheticEEGDataset:
         if start < 5.0 or start + burst_s > duration_s - 5.0:
             # Record too short to host both; skip the burst rather than
             # corrupt the seizure itself.
-            return data
+            return []
         spec = ArtifactSpec(
             kind=prof.artifact_kind,
             start_s=start,
             duration_s=burst_s,
             amplitude_gain=prof.artifact_gain,
         )
-        return inject_artifact(data, spec, self.fs, bg_rms, rng)
+        return [
+            SignalPatch(ch, i0, wave)
+            for ch, i0, wave in artifact_waveforms(
+                spec, self.fs, bg_rms, rng, 2, n_samples
+            )
+        ]
 
-    def _inject_clutter(
+    def _clutter_patches(
         self,
-        data: np.ndarray,
         prof: PatientProfile,
         onset_s: float,
         seiz_s: float,
         duration_s: float,
         bg_rms: float,
         rng: np.random.Generator,
-    ) -> np.ndarray:
+        n_samples: int,
+    ) -> list[SignalPatch]:
         """Moderate bursts near the seizure (profile ``clutter_bursts``).
 
         Placed uniformly within +-180 s of the seizure (never overlapping
         it) so they perturb the argmax window alignment without stealing
         the detection — the source of patient 2's mediocre deviations.
         """
+        patches: list[SignalPatch] = []
         for _ in range(prof.clutter_bursts):
             span = prof.clutter_duration_s
             for _attempt in range(8):
@@ -274,9 +317,36 @@ class SyntheticEEGDataset:
                     duration_s=span,
                     amplitude_gain=prof.clutter_gain,
                 )
-                data = inject_artifact(data, spec, self.fs, bg_rms, rng)
+                patches += [
+                    SignalPatch(ch, i0, wave)
+                    for ch, i0, wave in artifact_waveforms(
+                        spec, self.fs, bg_rms, rng, 2, n_samples
+                    )
+                ]
                 break
-        return data
+        return patches
+
+    def seizure_free_source(
+        self,
+        patient_id: int,
+        duration_s: float,
+        sample_index: int = 0,
+    ) -> SyntheticRecordSource:
+        """Streaming form of :meth:`generate_seizure_free` (pure
+        background: an entropy key and no overlay patches)."""
+        if duration_s <= 0:
+            raise DataError(f"duration must be positive, got {duration_s}")
+        prof = self.profile(patient_id)
+        rng = self._rng(patient_id, 0, sample_index, _PURPOSE_FREE)
+        entropy = draw_block_entropy(rng)
+        return SyntheticRecordSource(
+            model=prof.background,
+            entropy=entropy,
+            n_samples=int(round(duration_s * self.fs)),
+            fs=self.fs,
+            patient_id=f"P{patient_id:02d}",
+            record_id=f"P{patient_id:02d}_FREE_R{sample_index:03d}",
+        )
 
     def generate_seizure_free(
         self,
@@ -286,16 +356,9 @@ class SyntheticEEGDataset:
     ) -> EEGRecord:
         """An interictal-only record, for the non-seizure half of balanced
         training sets (Sec. VI-B)."""
-        prof = self.profile(patient_id)
-        rng = self._rng(patient_id, 0, sample_index, _PURPOSE_FREE)
-        data = prof.background.generate(duration_s, self.fs, rng)
-        return EEGRecord(
-            data=data,
-            fs=self.fs,
-            annotations=[],
-            patient_id=f"P{patient_id:02d}",
-            record_id=f"P{patient_id:02d}_FREE_R{sample_index:03d}",
-        )
+        return self.seizure_free_source(
+            patient_id, duration_s, sample_index
+        ).materialize()
 
     def generate_monitoring_record(
         self,

@@ -22,6 +22,8 @@ from __future__ import annotations
 import io
 import math
 import os
+from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
@@ -29,6 +31,8 @@ from ..exceptions import DataError
 from .records import EEGRecord, SeizureAnnotation
 
 __all__ = [
+    "EDFHeader",
+    "read_edf_header",
     "write_edf",
     "read_edf",
     "write_summary",
@@ -129,87 +133,190 @@ def write_edf(record: EEGRecord, path: str | os.PathLike) -> None:
         fh.write(buf.getvalue())
 
 
-def read_edf(path: str | os.PathLike) -> EEGRecord:
-    """Read an EDF file written by :func:`write_edf` (or any plain 16-bit
-    EDF with constant per-signal rate and numeric header fields)."""
+@dataclass(frozen=True)
+class EDFHeader:
+    """Parsed EDF header: everything needed to stream the data records.
+
+    ``n_samples`` is the per-channel sample count *after* trimming the
+    writer's zero padding (the exact count stashed in the recording-id
+    field), i.e. the length of the signal :func:`read_edf` returns.
+    """
+
+    patient_id: str
+    record_id: str
+    header_bytes: int
+    n_records: int
+    record_dur: float
+    n_signals: int
+    labels: tuple[str, ...]
+    phys_min: tuple[float, ...]
+    phys_max: tuple[float, ...]
+    dig_min: tuple[int, ...]
+    dig_max: tuple[int, ...]
+    samples_per_record: int
+    fs: float
+    n_samples: int
+
+    @property
+    def total_samples(self) -> int:
+        """Per-channel samples actually present in the data records
+        (before padding trim)."""
+        return self.n_records * self.samples_per_record
+
+
+def read_edf_header(path: str | os.PathLike) -> EDFHeader:
+    """Parse an EDF header without touching the signal payload.
+
+    Reads only the fixed + per-signal header region (plus a file-size
+    probe for the truncation check), so opening a multi-hour EDF costs
+    kilobytes, not the whole file — the entry point of the incremental
+    reading path (:class:`repro.data.sources.EDFRecordSource`).
+    """
     with open(path, "rb") as fh:
-        raw = fh.read()
-    if len(raw) < _HDR_FIXED:
-        raise DataError(f"{path}: too short to be EDF")
+        raw = fh.read(_HDR_FIXED)
+        if len(raw) < _HDR_FIXED:
+            raise DataError(f"{path}: too short to be EDF")
 
-    def text(off: int, width: int) -> str:
-        return raw[off : off + width].decode("ascii", errors="replace").strip()
+        def text(buf: bytes, off: int, width: int) -> str:
+            return buf[off : off + width].decode("ascii", errors="replace").strip()
 
-    patient_id = text(8, 80)
-    recording_field = text(88, 80)
-    try:
-        header_bytes = int(text(184, 8))
-        n_records = int(text(236, 8))
-        record_dur = float(text(244, 8))
-        ns = int(text(252, 4))
-    except ValueError as exc:
-        raise DataError(f"{path}: malformed EDF numeric header: {exc}") from exc
-    if ns < 1 or n_records < 0 or record_dur <= 0:
-        raise DataError(f"{path}: inconsistent EDF header")
+        patient_id = text(raw, 8, 80)
+        recording_field = text(raw, 88, 80)
+        try:
+            header_bytes = int(text(raw, 184, 8))
+            n_records = int(text(raw, 236, 8))
+            record_dur = float(text(raw, 244, 8))
+            ns = int(text(raw, 252, 4))
+        except ValueError as exc:
+            raise DataError(f"{path}: malformed EDF numeric header: {exc}") from exc
+        if ns < 1 or n_records < 0 or record_dur <= 0:
+            raise DataError(f"{path}: inconsistent EDF header")
 
-    off = _HDR_FIXED
+        sig = fh.read(header_bytes - _HDR_FIXED)
+        off = 0
 
-    def sig_fields(width: int) -> list[str]:
-        nonlocal off
-        out = [text(off + i * width, width) for i in range(ns)]
-        off += ns * width
-        return out
+        def sig_fields(width: int) -> list[str]:
+            nonlocal off
+            out = [text(sig, off + i * width, width) for i in range(ns)]
+            off += ns * width
+            return out
 
-    labels = sig_fields(16)
-    sig_fields(80)  # transducer
-    sig_fields(8)  # physical dimension
-    phys_min = [float(v) for v in sig_fields(8)]
-    phys_max = [float(v) for v in sig_fields(8)]
-    dig_min = [int(float(v)) for v in sig_fields(8)]
-    dig_max = [int(float(v)) for v in sig_fields(8)]
-    sig_fields(80)  # prefiltering
-    spr = [int(float(v)) for v in sig_fields(8)]
-    sig_fields(32)  # reserved
+        try:
+            labels = sig_fields(16)
+            sig_fields(80)  # transducer
+            sig_fields(8)  # physical dimension
+            phys_min = [float(v) for v in sig_fields(8)]
+            phys_max = [float(v) for v in sig_fields(8)]
+            dig_min = [int(float(v)) for v in sig_fields(8)]
+            dig_max = [int(float(v)) for v in sig_fields(8)]
+            sig_fields(80)  # prefiltering
+            spr = [int(float(v)) for v in sig_fields(8)]
+            sig_fields(32)  # reserved
+        except ValueError as exc:
+            raise DataError(f"{path}: malformed EDF numeric header: {exc}") from exc
 
-    if off != header_bytes:
+        if off + _HDR_FIXED != header_bytes or len(sig) < off:
+            raise DataError(
+                f"{path}: header length mismatch ({off + _HDR_FIXED} parsed "
+                f"vs {header_bytes} declared)"
+            )
+        if len(set(spr)) != 1:
+            raise DataError(f"{path}: per-signal rates differ ({spr}); unsupported")
+
+        fh.seek(0, os.SEEK_END)
+        file_bytes = fh.tell()
+
+    # Fail fast on a truncated payload: the streamed and batch paths must
+    # agree that a short file is an error, not a silently shorter record.
+    body_samples = max(0, (file_bytes - header_bytes) // 2)
+    expected = n_records * ns * spr[0]
+    if body_samples < expected:
         raise DataError(
-            f"{path}: header length mismatch ({off} parsed vs {header_bytes} declared)"
+            f"{path}: truncated data ({body_samples} samples, "
+            f"expected {expected})"
         )
-    if len(set(spr)) != 1:
-        raise DataError(f"{path}: per-signal rates differ ({spr}); unsupported")
-    fs = spr[0] / record_dur
-
-    body = np.frombuffer(raw[header_bytes:], dtype="<i2")
-    expected = n_records * sum(spr)
-    if body.size < expected:
-        raise DataError(
-            f"{path}: truncated data ({body.size} samples, expected {expected})"
-        )
-    body = body[:expected].reshape(n_records, ns, spr[0])
-    data = np.empty((ns, n_records * spr[0]))
-    for ch in range(ns):
-        dig = body[:, ch, :].reshape(-1).astype(float)
-        span_d = dig_max[ch] - dig_min[ch]
-        span_p = phys_max[ch] - phys_min[ch]
-        data[ch] = (dig - dig_min[ch]) * (span_p / span_d) + phys_min[ch]
 
     # Trim zero padding if the writer stashed the exact count.
     record_id = recording_field
+    n_samples = n_records * spr[0]
     if " nsamples=" in recording_field:
         record_id, _, count = recording_field.rpartition(" nsamples=")
         try:
-            data = data[:, : int(count)]
+            n_samples = min(n_samples, int(count))
         except ValueError:
             pass
 
-    return EEGRecord(
-        data=data,
-        fs=fs,
-        channel_names=tuple(labels),
-        annotations=[],
+    return EDFHeader(
         patient_id=patient_id,
         record_id=record_id,
+        header_bytes=header_bytes,
+        n_records=n_records,
+        record_dur=record_dur,
+        n_signals=ns,
+        labels=tuple(labels),
+        phys_min=tuple(phys_min),
+        phys_max=tuple(phys_max),
+        dig_min=tuple(dig_min),
+        dig_max=tuple(dig_max),
+        samples_per_record=spr[0],
+        fs=spr[0] / record_dur,
+        n_samples=n_samples,
     )
+
+
+def iter_edf_record_groups(
+    path: str | os.PathLike, header: EDFHeader, records_per_read: int = 64
+) -> Iterator[np.ndarray]:
+    """Yield physical-unit signal groups of ``records_per_read`` EDF data
+    records each, shape (n_signals, k * samples_per_record), in order.
+
+    The digital->physical map is applied per group with the same
+    per-channel scale/offset as the batch reader, so concatenating every
+    group is bit-identical to :func:`read_edf`'s array (before padding
+    trim).  Peak memory is one group, whatever the file length.
+    """
+    if records_per_read < 1:
+        raise DataError(
+            f"records_per_read must be >= 1, got {records_per_read}"
+        )
+    ns = header.n_signals
+    spr = header.samples_per_record
+    span = [
+        (header.phys_max[ch] - header.phys_min[ch])
+        / (header.dig_max[ch] - header.dig_min[ch])
+        for ch in range(ns)
+    ]
+    with open(path, "rb") as fh:
+        fh.seek(header.header_bytes)
+        done = 0
+        while done < header.n_records:
+            k = min(records_per_read, header.n_records - done)
+            blob = fh.read(k * ns * spr * 2)
+            if len(blob) < k * ns * spr * 2:
+                raise DataError(
+                    f"{path}: truncated data record "
+                    f"{done + len(blob) // (ns * spr * 2)} of {header.n_records}"
+                )
+            body = np.frombuffer(blob, dtype="<i2").reshape(k, ns, spr)
+            group = np.empty((ns, k * spr))
+            for ch in range(ns):
+                dig = body[:, ch, :].reshape(-1).astype(float)
+                group[ch] = (dig - header.dig_min[ch]) * span[ch] + header.phys_min[ch]
+            done += k
+            yield group
+
+
+def read_edf(path: str | os.PathLike) -> EEGRecord:
+    """Read an EDF file written by :func:`write_edf` (or any plain 16-bit
+    EDF with constant per-signal rate and numeric header fields).
+
+    Implemented as the materialization of the incremental reading path
+    (:class:`repro.data.sources.EDFRecordSource`), so batch and streamed
+    reads can never drift apart.
+    """
+    from .sources import EDFRecordSource
+
+    return EDFRecordSource(path).materialize()
 
 
 def write_summary(record: EEGRecord, path: str | os.PathLike) -> None:

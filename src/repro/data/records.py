@@ -15,7 +15,12 @@ import numpy as np
 
 from ..exceptions import DataError
 
-__all__ = ["SeizureAnnotation", "EEGRecord", "interval_window_labels"]
+__all__ = [
+    "SeizureAnnotation",
+    "EEGRecord",
+    "duration_window_labels",
+    "interval_window_labels",
+]
 
 
 @dataclass(frozen=True)
@@ -182,13 +187,8 @@ class EEGRecord:
         its span intersects an annotation — the standard convention for
         training window-level detectors on interval labels.
         """
-        if step_s <= 0:
-            raise DataError(f"step must be positive, got {step_s}")
-        n_win = int((self.duration_s - window_s) // step_s) + 1 if (
-            self.duration_s >= window_s
-        ) else 0
-        return interval_window_labels(
-            self.annotations, n_win, window_s, step_s, min_overlap
+        return duration_window_labels(
+            self.annotations, self.duration_s, window_s, step_s, min_overlap
         )
 
     @property
@@ -201,6 +201,31 @@ class EEGRecord:
             f"{self.n_channels}ch x {self.duration_s:.1f}s @ {self.fs:g}Hz, "
             f"{self.seizure_count} seizure(s))"
         )
+
+
+def duration_window_labels(
+    annotations: list[SeizureAnnotation],
+    duration_s: float,
+    window_s: float,
+    step_s: float,
+    min_overlap: float = 0.5,
+) -> np.ndarray:
+    """Per-window labels for a record known only by its duration.
+
+    The single home of the duration -> window-count conversion:
+    :meth:`EEGRecord.window_labels` and the streaming
+    :meth:`~repro.data.sources.RecordSource.window_labels` both delegate
+    here, so the batch and streamed scoring paths cannot drift on the
+    edge handling.
+    """
+    if step_s <= 0:
+        raise DataError(f"step must be positive, got {step_s}")
+    n_win = int((duration_s - window_s) // step_s) + 1 if (
+        duration_s >= window_s
+    ) else 0
+    return interval_window_labels(
+        list(annotations), n_win, window_s, step_s, min_overlap
+    )
 
 
 def interval_window_labels(

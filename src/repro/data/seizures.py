@@ -23,7 +23,7 @@ import numpy as np
 from ..exceptions import DataError
 from .synthetic import pink_noise
 
-__all__ = ["SeizureMorphology", "generate_ictal", "insert_seizure"]
+__all__ = ["SeizureMorphology", "generate_ictal", "insert_seizure", "seizure_overlay"]
 
 
 @dataclass(frozen=True)
@@ -121,6 +121,30 @@ def generate_ictal(
     return np.vstack(chans)
 
 
+def seizure_overlay(
+    ictal: np.ndarray, fs: float, crossfade_s: float = 1.0
+) -> np.ndarray:
+    """The additive waveform :func:`insert_seizure` mixes into background.
+
+    The discharge is cross-faded over ``crossfade_s`` at both ends so no
+    step discontinuity marks the boundary (a step would be a trivially
+    detectable artifact and would flatter the labeling algorithm).  The
+    overlay depends only on the ictal waveform — never on the background
+    it lands on — which is what lets the streaming record sources apply
+    it chunk-by-chunk, bit-identical to the batch insertion.
+    """
+    if ictal.ndim != 2:
+        raise DataError("ictal must be (channels, samples)")
+    n_ict = ictal.shape[1]
+    fade_n = min(int(round(crossfade_s * fs)), n_ict // 2)
+    window = np.ones(n_ict)
+    if fade_n > 0:
+        ramp = np.linspace(0.0, 1.0, fade_n)
+        window[:fade_n] = ramp
+        window[-fade_n:] = ramp[::-1]
+    return ictal * window[None, :]
+
+
 def insert_seizure(
     background: np.ndarray,
     ictal: np.ndarray,
@@ -130,11 +154,8 @@ def insert_seizure(
 ) -> np.ndarray:
     """Additively insert an ictal discharge into background EEG.
 
-    The discharge is cross-faded over ``crossfade_s`` at both ends so no
-    step discontinuity marks the boundary (a step would be a trivially
-    detectable artifact and would flatter the labeling algorithm).
-
-    Returns a new array; the inputs are not modified.
+    The mixed-in waveform is :func:`seizure_overlay` (cross-faded at both
+    ends).  Returns a new array; the inputs are not modified.
     """
     if background.ndim != 2 or ictal.ndim != 2:
         raise DataError("background and ictal must be (channels, samples)")
@@ -146,12 +167,8 @@ def insert_seizure(
             f"seizure [{onset_sample}, {onset_sample + n_ict}) does not fit in "
             f"record of {background.shape[1]} samples"
         )
-    fade_n = min(int(round(crossfade_s * fs)), n_ict // 2)
-    window = np.ones(n_ict)
-    if fade_n > 0:
-        ramp = np.linspace(0.0, 1.0, fade_n)
-        window[:fade_n] = ramp
-        window[-fade_n:] = ramp[::-1]
     out = background.copy()
-    out[:, onset_sample : onset_sample + n_ict] += ictal * window[None, :]
+    out[:, onset_sample : onset_sample + n_ict] += seizure_overlay(
+        ictal, fs, crossfade_s
+    )
     return out

@@ -15,17 +15,68 @@ the statistical structure the paper's algorithm actually exploits:
 Amplitudes are in microvolts, sized to typical scalp EEG (tens of uV RMS).
 All randomness flows through an explicit :class:`numpy.random.Generator`
 so records are exactly reproducible from a seed.
+
+Generation is *block-based*: a record is defined as the concatenation of
+fixed :data:`GEN_BLOCK_S`-second blocks, each a pure function of a small
+entropy key (drawn once from the caller's generator) plus the block
+index.  The batch path (:meth:`BackgroundEEGModel.generate`) and the
+streaming path (:meth:`BackgroundEEGModel.iter_blocks`, consumed by
+:class:`repro.data.sources.SyntheticRecordSource`) therefore produce
+bit-identical samples — a multi-hour record can be streamed in bounded
+chunks without ever materializing the full waveform.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Iterator
 
 import numpy as np
 
 from ..exceptions import DataError
 
-__all__ = ["BackgroundEEGModel", "pink_noise", "smooth_envelope"]
+__all__ = [
+    "GEN_BLOCK_S",
+    "BackgroundEEGModel",
+    "block_spans",
+    "draw_block_entropy",
+    "pink_noise",
+    "smooth_envelope",
+]
+
+#: Internal generation block length (seconds).  Block boundaries are a
+#: property of the *waveform definition*, not of any consumer's chunk
+#: size: streaming at 0.5 s or 600 s chunks re-slices the same blocks.
+GEN_BLOCK_S = 60.0
+
+
+def draw_block_entropy(rng: np.random.Generator) -> tuple[int, ...]:
+    """Draw the entropy key that seeds every generation block.
+
+    One fixed-size draw replaces the old whole-record consumption, so the
+    caller's generator advances by the same amount whatever the record
+    duration — and the key deterministically spawns an independent
+    substream per (block, source) via :class:`numpy.random.SeedSequence`.
+    """
+    return tuple(int(v) for v in rng.integers(0, 2**32, size=4))
+
+
+def block_spans(n_samples: int, fs: float) -> list[tuple[int, int]]:
+    """Canonical ``[start, stop)`` sample spans of the generation blocks.
+
+    Boundaries sit at multiples of :data:`GEN_BLOCK_S`; a trailing
+    1-sample remainder is folded into the previous block (every block
+    must be FFT-shapeable, i.e. >= 2 samples).
+    """
+    if n_samples < 2:
+        raise DataError(f"need at least 2 samples, got {n_samples}")
+    block = max(2, int(round(GEN_BLOCK_S * fs)))
+    starts = list(range(0, n_samples, block))
+    spans = [(s, min(s + block, n_samples)) for s in starts]
+    if len(spans) > 1 and spans[-1][1] - spans[-1][0] < 2:
+        last = spans.pop()
+        spans[-1] = (spans[-1][0], last[1])
+    return spans
 
 
 def pink_noise(
@@ -121,6 +172,66 @@ class BackgroundEEGModel:
         alpha_rms = alpha.std() + 1e-12
         return floor + self.alpha_fraction * alpha / alpha_rms
 
+    def _block_source(
+        self, n: int, fs: float, entropy: tuple[int, ...], key: tuple[int, ...]
+    ) -> np.ndarray:
+        """One unit-variance source signal of one block, keyed by
+        ``(block_index, source_index)`` under the record's entropy."""
+        ss = np.random.SeedSequence(list(entropy) + list(key))
+        return self._one_source(n, fs, np.random.default_rng(ss))
+
+    def nominal_rms(self) -> float:
+        """Deterministic per-channel RMS of generated background.
+
+        Every block is normalized to exactly :attr:`amplitude_uv` RMS per
+        channel, and line interference adds ``line_noise_uv^2 / 2``
+        variance, so callers that need "the background level" (seizure
+        and artifact scaling) can use this without touching a single
+        sample — the streaming path must never require a full-record
+        pass.
+        """
+        return float(
+            np.sqrt(self.amplitude_uv**2 + 0.5 * self.line_noise_uv**2)
+        )
+
+    def iter_blocks(
+        self,
+        n_samples: int,
+        fs: float,
+        entropy: tuple[int, ...],
+        n_channels: int = 2,
+    ) -> Iterator[np.ndarray]:
+        """Yield the record's generation blocks in order.
+
+        Each block is an (n_channels, block_samples) array and a pure
+        function of ``(entropy, block_index)``; concatenating every block
+        is *the* definition of the record's background waveform (what
+        :meth:`generate` returns).  Peak memory is one block, whatever
+        the record duration.
+        """
+        if fs <= 0:
+            raise DataError(f"sampling rate must be positive, got {fs}")
+        if n_channels < 1:
+            raise DataError("need at least one channel")
+        w_shared = np.sqrt(self.shared_fraction)
+        w_local = np.sqrt(1.0 - self.shared_fraction)
+        for index, (start, stop) in enumerate(block_spans(n_samples, fs)):
+            n = stop - start
+            shared = self._block_source(n, fs, entropy, (index, 0))
+            chans = []
+            for ch in range(n_channels):
+                local = self._block_source(n, fs, entropy, (index, ch + 1))
+                mix = w_shared * shared + w_local * local
+                mix = mix / (mix.std() + 1e-12) * self.amplitude_uv
+                chans.append(mix)
+            out = np.vstack(chans)
+            if self.line_noise_uv > 0:
+                # Absolute time keeps the 50 Hz line coherent across
+                # block boundaries.
+                t = (start + np.arange(n)) / fs
+                out += self.line_noise_uv * np.sin(2 * np.pi * 50.0 * t)
+            yield out
+
     def generate(
         self, duration_s: float, fs: float, rng: np.random.Generator,
         n_channels: int = 2,
@@ -131,17 +242,7 @@ class BackgroundEEGModel:
         if fs <= 0:
             raise DataError(f"sampling rate must be positive, got {fs}")
         n = int(round(duration_s * fs))
-        shared = self._one_source(n, fs, rng)
-        chans = []
-        w_shared = np.sqrt(self.shared_fraction)
-        w_local = np.sqrt(1.0 - self.shared_fraction)
-        for _ in range(n_channels):
-            local = self._one_source(n, fs, rng)
-            mix = w_shared * shared + w_local * local
-            mix = mix / (mix.std() + 1e-12) * self.amplitude_uv
-            chans.append(mix)
-        out = np.vstack(chans)
-        if self.line_noise_uv > 0:
-            t = np.arange(n) / fs
-            out += self.line_noise_uv * np.sin(2 * np.pi * 50.0 * t)
-        return out
+        entropy = draw_block_entropy(rng)
+        return np.concatenate(
+            list(self.iter_blocks(n, fs, entropy, n_channels)), axis=1
+        )

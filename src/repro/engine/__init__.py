@@ -25,9 +25,19 @@ rows, not pool aborts — and resumable via the persistent feature store.
   self-learning loop with its per-record labeling phase fanned out.
 """
 
-from .cache import FeatureCache, feature_cache_key
-from .checkpoint import CohortCheckpoint, config_digest, work_list_digest
-from .chunked import DEFAULT_CHUNK_S, extract_features_chunked
+from .cache import FeatureCache, feature_cache_key, source_cache_key
+from .checkpoint import (
+    CohortCheckpoint,
+    config_digest,
+    merge_checkpoints,
+    work_list_digest,
+)
+from .chunked import (
+    DEFAULT_CHUNK_S,
+    coalesce_chunks,
+    extract_features_chunked,
+    extract_features_from_source,
+)
 from .executor import (
     ENV_EXECUTOR,
     CohortEngine,
@@ -53,11 +63,15 @@ __all__ = [
     "RecordTask",
     "SelfLearningDriver",
     "SelfLearningTask",
+    "coalesce_chunks",
     "cohort_tasks",
     "config_digest",
     "default_executor",
     "extract_features_chunked",
+    "extract_features_from_source",
     "feature_cache_key",
+    "merge_checkpoints",
+    "source_cache_key",
     "store_key_digest",
     "work_list_digest",
 ]

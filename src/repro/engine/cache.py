@@ -1,4 +1,4 @@
-"""In-process feature cache keyed by (record, extractor, window spec).
+"""In-process feature cache keyed by (record content, extractor, spec).
 
 Feature extraction dominates the per-record pipeline cost (entropy and
 spectral features over every 4 s window), and several workloads touch the
@@ -9,9 +9,16 @@ feature matrix per (record, extractor, spec) triple with LRU eviction.
 
 The record component of the key includes a content digest, not just the
 ``record_id``: hand-built records often carry empty ids, and a stale hit
-on different samples would silently corrupt results.  The digest is a
-blake2b over the raw sample bytes — a few hundred microseconds per hour
-of 2-channel signal, orders of magnitude below extraction cost.
+on different samples would silently corrupt results.  The digest is
+:func:`~repro.data.sources.record_content_digest` — computed by
+*streaming* the source in bounded chunks (one blake2b per channel,
+folded), so keying a multi-hour record costs O(chunk) memory, and the
+value is invariant to the chunk size used: a disk-store entry written at
+one ``--chunk-s`` hits at any other, and from the batch path alike.
+
+Keying a source therefore costs one cheap streaming pass (generation or
+file decode plus hashing); extraction on a miss streams a second pass.
+Both passes are bounded-memory; neither ever holds the full signal.
 """
 
 from __future__ import annotations
@@ -23,12 +30,13 @@ from collections import OrderedDict
 import numpy as np
 
 from ..data.records import EEGRecord
+from ..data.sources import ArrayRecordSource, RecordSource, record_content_digest
 from ..exceptions import EngineError
 from ..features.base import FeatureExtractor, FeatureMatrix
 from ..signals.windowing import WindowSpec
-from .chunked import DEFAULT_CHUNK_S, extract_features_chunked
+from .chunked import DEFAULT_CHUNK_S, extract_features_from_source
 
-__all__ = ["FeatureCache", "feature_cache_key"]
+__all__ = ["FeatureCache", "feature_cache_key", "source_cache_key"]
 
 
 def _extractor_fingerprint(extractor: FeatureExtractor) -> str:
@@ -58,23 +66,28 @@ def _extractor_fingerprint(extractor: FeatureExtractor) -> str:
     return h.hexdigest()
 
 
-def feature_cache_key(
-    record: EEGRecord, extractor: FeatureExtractor, spec: WindowSpec
+def source_cache_key(
+    source: RecordSource,
+    extractor: FeatureExtractor,
+    spec: WindowSpec,
+    chunk_s: float = DEFAULT_CHUNK_S,
 ) -> tuple:
     """Build the exact-identity cache key for one extraction call.
 
-    The extractor contributes its class, feature names *and* instance
+    The record contributes id, geometry and a streamed content digest;
+    the extractor contributes its class, feature names *and* instance
     configuration: two ``Paper10FeatureExtractor`` instances with
     different ``renyi_alpha`` produce different matrices under the same
-    feature names, and must never hit each other's entries.
+    feature names, and must never hit each other's entries.  ``chunk_s``
+    tunes only the digest pass's working set — it never changes the key
+    (the digest is chunk-invariant), because chunking never changes the
+    extracted matrix.
     """
-    digest = hashlib.blake2b(
-        record.data.tobytes(), digest_size=16
-    ).hexdigest()
+    digest = record_content_digest(source, chunk_s)
     return (
-        record.record_id,
-        record.data.shape,
-        float(record.fs),
+        source.record_id,
+        (source.n_channels, source.n_samples),
+        float(source.fs),
         digest,
         type(extractor).__qualname__,
         extractor.feature_names,
@@ -82,6 +95,14 @@ def feature_cache_key(
         float(spec.length_s),
         float(spec.step_s),
     )
+
+
+def feature_cache_key(
+    record: EEGRecord, extractor: FeatureExtractor, spec: WindowSpec
+) -> tuple:
+    """:func:`source_cache_key` for an in-memory record (same key as the
+    streamed path over identical content — the two tiers stay shared)."""
+    return source_cache_key(ArrayRecordSource(record), extractor, spec)
 
 
 class FeatureCache:
@@ -120,22 +141,23 @@ class FeatureCache:
         with self._lock:
             self._entries.clear()
 
-    def get_or_extract(
+    def get_or_extract_source(
         self,
-        record: EEGRecord,
+        source: RecordSource,
         extractor: FeatureExtractor,
         spec: WindowSpec,
         chunk_s: float = DEFAULT_CHUNK_S,
     ) -> FeatureMatrix:
-        """Return the cached matrix or extract (chunked) and cache it.
+        """Return the cached matrix or extract (streamed) and cache it.
 
-        Raises
-        ------
-        FeatureError
-            If the record is shorter than one window — the short-record
-            contract propagates unchanged through the cache.
+        The record's signal is only ever touched in bounded chunks: one
+        streaming pass keys the lookup, and a miss streams a second pass
+        through the extractor.  Raises
+        :class:`~repro.exceptions.FeatureError` for records shorter than
+        one window — the short-record contract propagates unchanged
+        through the cache.
         """
-        key = feature_cache_key(record, extractor, spec)
+        key = source_cache_key(source, extractor, spec, chunk_s)
         with self._lock:
             cached = self._entries.get(key)
             if cached is not None:
@@ -147,11 +169,23 @@ class FeatureCache:
         if self.store is not None:
             feats = self.store.load(key)
         if feats is None:
-            feats = extract_features_chunked(record, extractor, spec, chunk_s)
+            feats = extract_features_from_source(source, extractor, spec, chunk_s)
             if self.store is not None:
                 self.store.save(key, feats)
         self._insert(key, feats)
         return feats
+
+    def get_or_extract(
+        self,
+        record: EEGRecord,
+        extractor: FeatureExtractor,
+        spec: WindowSpec,
+        chunk_s: float = DEFAULT_CHUNK_S,
+    ) -> FeatureMatrix:
+        """:meth:`get_or_extract_source` over an in-memory record."""
+        return self.get_or_extract_source(
+            ArrayRecordSource(record), extractor, spec, chunk_s
+        )
 
     def _insert(self, key: tuple, feats: FeatureMatrix) -> None:
         with self._lock:

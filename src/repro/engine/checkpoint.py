@@ -55,6 +55,7 @@ from .report import RecordOutcome
 __all__ = [
     "CohortCheckpoint",
     "config_digest",
+    "merge_checkpoints",
     "work_list_digest",
 ]
 
@@ -174,6 +175,128 @@ def _outcome_from_dict(data) -> RecordOutcome | None:
         return RecordOutcome(**data)
     except TypeError:
         return None
+
+
+def merge_checkpoints(
+    dest: str | os.PathLike,
+    sources: list[str | os.PathLike] | tuple[str | os.PathLike, ...],
+    *,
+    work_digest: str | None = None,
+    expected_config: str | None = None,
+) -> dict[str, int]:
+    """Merge shard journals of one work list into a single resumable one.
+
+    The first step of the distributed-sharding story: N machines each run
+    a disjoint slice of ``cohort_tasks(...)`` with their own
+    ``--checkpoint`` journal; merging the journals yields a checkpoint
+    the *full* work list resumes from, skipping every record any shard
+    completed.
+
+    Every source journal must carry a valid header and the **same config
+    digest** — outcomes produced under different engine configurations
+    must never be merged into one report's history.  Shard *work*
+    digests legitimately differ (each shard journaled its own slice), so
+    the caller names the merged run's identity via ``work_digest``
+    (``work_list_digest(full_task_list)``); when omitted, every source
+    must already share one work digest (e.g. merging after journal
+    copies) and that shared value is preserved.  ``expected_config``
+    (when given) additionally pins the configuration the merged run will
+    use — shards written under anything else are rejected.  Any mismatch
+    raises :class:`CheckpointError` before the destination is touched.
+
+    Duplicate task keys across shards collapse to the first occurrence —
+    outcomes are pure functions of their task, so duplicates are
+    byte-identical re-runs, not conflicts.  Outcomes whose task keys the
+    merged run's work list does not name are harmless: the engine
+    restores only outcomes of tasks it was actually asked to run, so a
+    superset journal can never leak foreign records into a report.  The
+    destination must not already exist (merging is a create, never an
+    overwrite) and is written atomically.
+
+    Returns ``{"sources", "outcomes", "duplicates", "dropped"}``.
+    """
+    if not sources:
+        raise CheckpointError("no source checkpoints to merge")
+    dest = Path(dest)
+    if dest.exists():
+        raise CheckpointError(
+            f"merge destination {dest} already exists; refusing to "
+            f"overwrite it — delete the file or pick a fresh path"
+        )
+    headers: list[dict] = []
+    merged: dict[tuple[int, int, int], RecordOutcome] = {}
+    duplicates = 0
+    dropped = 0
+    for src in sources:
+        journal = CohortCheckpoint(src)
+        header, done = journal._scan()
+        if header is None:
+            raise CheckpointError(
+                f"{src} is missing or has no valid checkpoint header; "
+                f"refusing to merge an untrustworthy journal"
+            )
+        headers.append(header)
+        dropped += journal.dropped
+        for key in sorted(done):
+            if key in merged:
+                duplicates += 1
+            else:
+                merged[key] = done[key]
+
+    configs = {h.get("config") for h in headers}
+    if len(configs) != 1:
+        raise CheckpointError(
+            f"cannot merge checkpoints written under different engine "
+            f"configurations (config digests {sorted(configs)}); shards "
+            f"of one run must share one configuration"
+        )
+    if expected_config is not None and configs != {expected_config}:
+        raise CheckpointError(
+            f"source checkpoints were written under config digest "
+            f"{configs.pop()!r}, but the merged run expects "
+            f"{expected_config!r}; the shard runs used a different "
+            f"engine configuration"
+        )
+    works = {h.get("work") for h in headers}
+    if work_digest is None:
+        if len(works) != 1:
+            raise CheckpointError(
+                f"source checkpoints carry different work digests "
+                f"({sorted(works)}); pass the merged run's work digest "
+                f"(work_list_digest over the full task list) explicitly"
+            )
+        work_digest = works.pop()
+
+    lines = [
+        _emit_line(
+            {
+                "kind": _KIND,
+                "version": CohortCheckpoint.VERSION,
+                "work": work_digest,
+                "config": configs.pop(),
+            }
+        )
+    ]
+    for key in sorted(merged):
+        lines.append(_emit_line({"outcome": asdict(merged[key])}))
+    blob = "".join(lines).encode()
+    tmp = dest.with_name(dest.name + f".tmp-{os.getpid()}")
+    try:
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        tmp.write_bytes(blob)
+        os.replace(tmp, dest)
+    except OSError as exc:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise CheckpointError(f"cannot write merged checkpoint {dest}: {exc}")
+    return {
+        "sources": len(headers),
+        "outcomes": len(merged),
+        "duplicates": duplicates,
+        "dropped": dropped,
+    }
 
 
 class CohortCheckpoint:
@@ -405,6 +528,63 @@ class CohortCheckpoint:
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    # ------------------------------------------------------------------
+    def compact(self) -> dict[str, int]:
+        """Rewrite the journal from its parsed outcomes.
+
+        A long-lived journal accretes dead weight: the partial trailing
+        line a kill leaves behind, duplicate appends from runs sharing
+        one file, outcome lines of superseded shapes.  Compaction
+        re-emits exactly what a resume would restore — the valid header
+        (work/config digests preserved verbatim) plus one line per
+        restorable outcome in canonical task order — via an atomic
+        temp-write-then-rename, so a crash mid-compact leaves the old
+        journal intact.
+
+        Returns ``{"kept", "dropped", "bytes"}``.  Raises
+        :class:`CheckpointError` for a journal that is currently open
+        for appending, a missing/reset journal (nothing trustworthy to
+        rewrite), or a file that is not a cohort checkpoint at all.
+        """
+        if self._handle is not None:
+            raise CheckpointError(
+                f"cannot compact {self.path} while it is open for journaling"
+            )
+        self.dropped = 0
+        header, done = self._scan()
+        if header is None:
+            raise CheckpointError(
+                f"{self.path} has no valid checkpoint header to compact; "
+                f"a missing or reset journal re-runs everything anyway"
+            )
+        dropped = self.dropped
+        lines = [
+            _emit_line(
+                {
+                    "kind": _KIND,
+                    "version": type(self).VERSION,
+                    "work": header.get("work"),
+                    "config": header.get("config"),
+                }
+            )
+        ]
+        for key in sorted(done):
+            lines.append(_emit_line({"outcome": asdict(done[key])}))
+        blob = "".join(lines).encode()
+        tmp = self.path.with_name(self.path.name + f".tmp-{os.getpid()}")
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise CheckpointError(
+                f"cannot compact checkpoint {self.path}: {exc}"
+            )
+        return {"kept": len(done), "dropped": dropped, "bytes": len(blob)}
 
     # ------------------------------------------------------------------
     def outcome_count(self) -> int:

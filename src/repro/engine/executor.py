@@ -1,15 +1,20 @@
 """Cohort-scale parallel execution engine.
 
-:class:`CohortEngine` fans the full per-record pipeline — synthesize the
-record from its deterministic coordinates, extract features (chunked,
-via the in-process cache), run Algorithm 1, score against the expert
-annotation — out across a :mod:`concurrent.futures` worker pool.
+:class:`CohortEngine` fans the full per-record pipeline — resolve the
+task's deterministic coordinates to a streaming
+:class:`~repro.data.sources.RecordSource`, extract features chunk-by-
+chunk (via the in-process cache), run Algorithm 1, score against the
+expert annotation — out across a :mod:`concurrent.futures` worker pool.
+Workers never materialize a record: signal flows source -> chunks ->
+streaming extractor, so per-worker signal memory is O(chunk) whatever
+the record duration.
 
 Equivalence contract
 --------------------
 Every task is a pure function of (dataset seed, task coordinates): the
-record is regenerated inside the worker, chunked extraction is
-bit-identical to batch extraction, and Algorithm 1 is deterministic.
+record is re-streamed inside the worker, chunked extraction is
+bit-identical to batch extraction at any chunk size, and Algorithm 1 is
+deterministic.
 Results are re-sorted into canonical task order before aggregation, so
 the produced :class:`~repro.engine.report.CohortReport` is identical —
 byte-for-byte in its JSON form — for any worker count, executor kind, or
@@ -52,7 +57,8 @@ from dataclasses import dataclass, field
 from ..core.deviation import deviation, normalized_deviation
 from ..core.labeling import APosterioriLabeler
 from ..data.dataset import SyntheticEEGDataset
-from ..data.records import EEGRecord, SeizureAnnotation, interval_window_labels
+from ..data.records import SeizureAnnotation, interval_window_labels
+from ..data.sources import RecordSource
 from ..exceptions import EngineError
 from ..features.base import FeatureExtractor
 from ..ml.metrics import classification_report
@@ -153,16 +159,24 @@ class _WorkerContext:
             return _failure_outcome(task, exc)
 
     def process(self, task: RecordTask) -> RecordOutcome:
-        """Run the full pipeline for one record task."""
+        """Run the full pipeline for one record task.
+
+        The task resolves to a :class:`~repro.data.sources
+        .SyntheticRecordSource`, not a record: the worker only ever
+        touches the signal in bounded chunks (one streaming pass keys
+        the cache, a miss streams a second pass through the extractor),
+        and scoring consumes source *metadata* — the full waveform is
+        never materialized anywhere in the engine data plane.
+        """
         cfg = self.config
-        record = cfg.dataset.generate_sample(
+        source = cfg.dataset.sample_source(
             task.patient_id,
             task.seizure_index,
             task.sample_index,
             duration_range_s=task.duration_range_s,
         )
-        feats = self.cache.get_or_extract(
-            record, self.labeler.extractor, self.labeler.spec, cfg.chunk_s
+        feats = self.cache.get_or_extract_source(
+            source, self.labeler.extractor, self.labeler.spec, cfg.chunk_s
         )
         # The exact code path of the sequential pipeline, fed the
         # chunked/cached matrix — the equivalence contract by sharing,
@@ -170,21 +184,21 @@ class _WorkerContext:
         result = self.labeler.label_matrix(
             feats,
             cfg.dataset.mean_seizure_duration(task.patient_id),
-            record.duration_s,
+            source.duration_s,
         )
-        return self._score(task, record, feats.n_windows, result.annotation)
+        return self._score(task, source, feats.n_windows, result.annotation)
 
     def _score(
         self,
         task: RecordTask,
-        record: EEGRecord,
+        source: RecordSource,
         n_windows: int,
         ann: SeizureAnnotation,
     ) -> RecordOutcome:
         cfg = self.config
         spec = self.labeler.spec
-        truth = record.annotations[0]
-        truth_labels = record.window_labels(
+        truth = source.annotations[0]
+        truth_labels = source.window_labels(
             spec.length_s, spec.step_s, cfg.min_overlap
         )
         pred_labels = interval_window_labels(
@@ -196,15 +210,15 @@ class _WorkerContext:
             patient_id=task.patient_id,
             seizure_index=task.seizure_index,
             sample_index=task.sample_index,
-            record_id=record.record_id,
-            duration_s=record.duration_s,
+            record_id=source.record_id,
+            duration_s=source.duration_s,
             n_windows=n_windows,
             truth_onset_s=truth.onset_s,
             truth_offset_s=truth.offset_s,
             onset_s=ann.onset_s,
             offset_s=ann.offset_s,
             delta_s=deviation(truth, ann),
-            delta_norm=normalized_deviation(truth, ann, record.duration_s),
+            delta_norm=normalized_deviation(truth, ann, source.duration_s),
             sensitivity=scores.sensitivity,
             specificity=scores.specificity,
             geometric_mean=scores.geometric_mean,
@@ -431,6 +445,18 @@ class CohortEngine:
             completed = journal.begin(
                 work_list_digest(tasks), config_digest(self.config)
             )
+            # Restore only outcomes this work list actually names.  The
+            # digest check already rejects foreign journals, but a
+            # merged journal stamped for this run (checkpoint merge with
+            # an explicit work digest) may still carry shard outcomes
+            # outside the list — those must never leak into the report,
+            # which is defined as exactly the work list's records.
+            task_keys = {t.key for t in tasks}
+            completed = {
+                key: outcome
+                for key, outcome in completed.items()
+                if key in task_keys
+            }
         pending = tuple(t for t in tasks if t.key not in completed)
 
         outcomes = list(completed.values())

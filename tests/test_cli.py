@@ -466,3 +466,184 @@ class TestLifetime:
         out = capsys.readouterr().out
         assert code == 0
         assert "17.9" in out  # ~430 h = 17.93 days
+
+
+class TestCohortStreaming:
+    """The ``--chunk-s`` knob: any positive value, byte-identical report."""
+
+    def _run(self, tmp_path, name, *extra):
+        out = tmp_path / name
+        argv = [
+            "cohort",
+            "--patients", "8",
+            "--duration-min", "5",
+            "--duration-max", "6",
+            "--executor", "serial",
+            "--json", str(out),
+            *extra,
+        ]
+        assert main(argv) == 0
+        return out.read_bytes()
+
+    def test_chunk_s_reports_byte_identical(self, tmp_path, capsys):
+        default = self._run(tmp_path, "default.json")
+        small = self._run(tmp_path, "small.json", "--chunk-s", "2.5")
+        large = self._run(tmp_path, "large.json", "--chunk-s", "600")
+        assert default == small == large
+
+    def test_non_positive_chunk_s_errors(self, capsys):
+        code = main(["cohort", "--chunk-s", "0"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--chunk-s" in err
+
+
+class TestCohortCompact:
+    def _checkpointed_run(self, tmp_path):
+        ckpt = tmp_path / "run.ckpt"
+        argv = [
+            "cohort",
+            "--patients", "8",
+            "--duration-min", "5",
+            "--duration-max", "6",
+            "--executor", "serial",
+            "--checkpoint", str(ckpt),
+        ]
+        assert main(argv) == 0
+        return argv, ckpt
+
+    def test_compact_rewrites_and_journal_still_resumes(
+        self, tmp_path, capsys
+    ):
+        argv, ckpt = self._checkpointed_run(tmp_path)
+        with open(ckpt, "a") as fh:
+            fh.write('{"partial": tr')  # the line a kill leaves behind
+        capsys.readouterr()
+        code = main(argv + ["--compact"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "kept 4 outcome(s)" in out
+        assert "dropped 1 dead line(s)" in out
+        assert len(ckpt.read_text().splitlines()) == 5
+        # The compacted journal still resumes: 4 restored, 0 processed.
+        code = main(argv + ["--resume"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 record(s) restored" in out
+        assert "0 processed this run" in out
+
+    def test_compact_requires_checkpoint(self, capsys):
+        code = main(["cohort", "--compact"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "--compact requires --checkpoint" in err
+
+    def test_compact_missing_journal_errors_cleanly(self, tmp_path, capsys):
+        code = main(
+            [
+                "cohort",
+                "--checkpoint", str(tmp_path / "absent.ckpt"),
+                "--compact",
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "no valid checkpoint" in err
+
+
+class TestCheckpointMerge:
+    """``repro checkpoint merge``: shard journals -> one resumable journal."""
+
+    SCALE = ["--patients", "8", "--duration-min", "5", "--duration-max", "6"]
+
+    def _shards(self, tmp_path):
+        # Build two shard journals over patient 8's work list with the
+        # exact dataset/config the cohort CLI would use at these flags.
+        from repro.data import SyntheticEEGDataset
+        from repro.engine import CohortEngine, cohort_tasks
+
+        dataset = SyntheticEEGDataset(duration_range_s=(300.0, 360.0))
+        tasks = cohort_tasks(dataset, patient_ids=[8])
+        engine = CohortEngine(dataset, executor="serial")
+        a, b = tmp_path / "a.ckpt", tmp_path / "b.ckpt"
+        engine.run(tasks[:2], checkpoint=a)
+        engine.run(tasks[2:], checkpoint=b)
+        return a, b
+
+    def test_merge_then_resume_full_run(self, tmp_path, capsys):
+        a, b = self._shards(tmp_path)
+        merged = tmp_path / "merged.ckpt"
+        capsys.readouterr()
+        code = main(
+            [
+                "checkpoint", "merge",
+                "--out", str(merged),
+                *self.SCALE,
+                str(a), str(b),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "merged 2 shard journal(s)" in out
+        assert "4 outcome(s)" in out
+        # The merged journal resumes the full cohort run: all restored.
+        code = main(
+            [
+                "cohort",
+                *self.SCALE,
+                "--executor", "serial",
+                "--checkpoint", str(merged),
+                "--resume",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "4 record(s) restored" in out
+        assert "0 processed this run" in out
+
+    def test_merge_without_scale_flags_requires_agreement(
+        self, tmp_path, capsys
+    ):
+        a, b = self._shards(tmp_path)
+        code = main(
+            ["checkpoint", "merge", "--out", str(tmp_path / "m.ckpt"),
+             str(a), str(b)]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "work digest" in err
+
+    def test_merge_wrong_scale_flags_rejected(self, tmp_path, capsys):
+        # Shards were run at 5-6 min records; merging "for" a 7-8 min
+        # run is a different engine configuration and must be refused.
+        a, b = self._shards(tmp_path)
+        code = main(
+            [
+                "checkpoint", "merge",
+                "--out", str(tmp_path / "m.ckpt"),
+                "--patients", "8",
+                "--duration-min", "7",
+                "--duration-max", "8",
+                str(a), str(b),
+            ]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "different" in err
+
+    def test_merge_existing_destination_refused(self, tmp_path, capsys):
+        a, b = self._shards(tmp_path)
+        dest = tmp_path / "exists.ckpt"
+        dest.write_text("precious\n")
+        code = main(
+            ["checkpoint", "merge", "--out", str(dest), *self.SCALE,
+             str(a), str(b)]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "already exists" in err
+        assert dest.read_text() == "precious\n"
+
+    def test_checkpoint_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["checkpoint"])

@@ -6,12 +6,14 @@ import pytest
 from repro.data.edf import (
     load_record,
     read_edf,
+    read_edf_header,
     read_summary,
     save_record,
     write_edf,
     write_summary,
 )
 from repro.data.records import EEGRecord, SeizureAnnotation
+from repro.data.sources import EDFRecordSource
 from repro.exceptions import DataError
 
 FS = 256.0
@@ -76,6 +78,97 @@ class TestEDFRoundTrip:
         path.write_bytes(b"not an edf")
         with pytest.raises(DataError):
             read_edf(path)
+
+
+class TestIncrementalReading:
+    """Edge cases the incremental (data-record-at-a-time) path must hit
+    exactly as the batch reader does."""
+
+    def test_header_parse_matches_batch_metadata(self, tmp_path):
+        rec = small_record(duration=12.0)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        header = read_edf_header(path)
+        back = read_edf(path)
+        assert header.fs == back.fs
+        assert header.n_samples == back.n_samples
+        assert header.labels == back.channel_names
+        assert header.record_id == back.record_id
+        assert header.n_records == 12
+        assert header.samples_per_record == int(FS)
+
+    def test_truncated_final_data_record_raises_both_paths(self, tmp_path):
+        rec = small_record(duration=8.0)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        raw = path.read_bytes()
+        # Cut into the final data record (but not a whole record's worth).
+        path.write_bytes(raw[: len(raw) - int(FS)])
+        with pytest.raises(DataError, match="truncated"):
+            read_edf(path)
+        with pytest.raises(DataError, match="truncated"):
+            EDFRecordSource(path)
+
+    def test_mid_iteration_truncation_raises(self, tmp_path):
+        # The file passes the construction-time size probe, then shrinks
+        # before iteration (another process rotating it): the short read
+        # must surface as DataError, not a silently shorter stream.
+        rec = small_record(duration=8.0)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        source = EDFRecordSource(path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) - 4 * int(FS)])
+        with pytest.raises(DataError, match="truncated"):
+            list(source.iter_chunks(1.0))
+
+    @pytest.mark.parametrize("duration", [10.5, 9.25, 7.0])
+    def test_partial_second_durations_roundtrip(self, tmp_path, duration):
+        # Records whose duration is not a whole number of EDF data
+        # records: the writer zero-pads, the trim must restore the exact
+        # sample count on both paths and any chunking.
+        rec = small_record(duration=duration)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        batch = read_edf(path)
+        assert batch.n_samples == rec.n_samples
+        source = EDFRecordSource(path)
+        assert source.n_samples == rec.n_samples
+        for chunk_s in (0.75, 2.0, 1e6):
+            data = np.concatenate(list(source.iter_chunks(chunk_s)), axis=1)
+            assert data.shape == batch.data.shape
+            assert np.array_equal(data, batch.data)
+
+    def test_roundtrip_write_source_batch_parity(self, tmp_path, sample_record):
+        # The satellite contract: write_edf -> EDFRecordSource == batch
+        # read_edf, on a real dataset record (non-integral duration,
+        # both channels, quantization applied).
+        path = tmp_path / "sample.edf"
+        write_edf(sample_record, path)
+        batch = read_edf(path)
+        streamed = EDFRecordSource(path).materialize(chunk_s=4.5)
+        assert np.array_equal(streamed.data, batch.data)
+        assert streamed.record_id == batch.record_id
+        assert streamed.channel_names == batch.channel_names
+        tol = 2 * np.abs(sample_record.data).max() / 65536 * 1.5
+        assert np.abs(streamed.data - sample_record.data).max() <= tol
+
+    def test_bogus_nsamples_tag_ignored(self, tmp_path):
+        # A non-numeric nsamples tag must fall back to the untrimmed
+        # count (batch behavior), not crash the header parse.
+        rec = small_record(duration=5.0)
+        path = tmp_path / "rec.edf"
+        write_edf(rec, path)
+        raw = bytearray(path.read_bytes())
+        field = raw[88 : 88 + 80].decode()
+        mangled = field.replace("nsamples=1280", "nsamples=x28O").ljust(80)
+        raw[88 : 88 + 80] = mangled.encode()
+        path.write_bytes(bytes(raw))
+        header = read_edf_header(path)
+        assert header.n_samples == 5 * int(FS)
+        assert np.array_equal(
+            EDFRecordSource(path).materialize().data, read_edf(path).data
+        )
 
 
 class TestSummary:

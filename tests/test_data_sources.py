@@ -1,0 +1,207 @@
+"""Parity suite for the streaming record sources (the data plane).
+
+The streaming contract: for every :class:`RecordSource`, concatenating
+``iter_chunks(chunk_s)`` reassembles the batch array bit for bit at any
+chunk size, metadata matches the batch object, and the streamed content
+digest is invariant to chunking — so cache/store keys cannot depend on
+how a record was streamed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    SyntheticEEGDataset,
+    read_edf,
+    write_edf,
+)
+from repro.data.sources import (
+    ArrayRecordSource,
+    EDFRecordSource,
+    SyntheticRecordSource,
+    rechunk,
+    record_content_digest,
+)
+from repro.data.synthetic import GEN_BLOCK_S, block_spans
+from repro.exceptions import DataError
+
+#: Chunk sizes spanning sub-second, non-aligned, the generation block,
+#: and one-chunk-covers-everything (the acceptance floor is >= 3 sizes).
+CHUNK_SIZES = (0.5, 7.3, 60.0, 1e6)
+
+
+class TestRechunk:
+    def test_reassembles_any_split(self, rng):
+        parts = [rng.standard_normal((2, n)) for n in (5, 1, 17, 3, 64)]
+        whole = np.concatenate(parts, axis=1)
+        for size in (1, 4, 9, 90, 1000):
+            out = list(rechunk(iter(parts), size))
+            assert all(c.shape[1] <= size for c in out)
+            assert all(c.shape[1] == size for c in out[:-1])
+            assert np.array_equal(np.concatenate(out, axis=1), whole)
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(DataError, match="chunk_samples"):
+            list(rechunk(iter([]), 0))
+
+
+class TestBlockSpans:
+    def test_covers_every_sample_in_order(self):
+        fs = 256.0
+        n = int(150.5 * fs)
+        spans = block_spans(n, fs)
+        assert spans[0][0] == 0 and spans[-1][1] == n
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c and b - a == int(round(GEN_BLOCK_S * fs))
+
+    def test_one_sample_tail_folds_into_previous_block(self):
+        fs = 256.0
+        block = int(round(GEN_BLOCK_S * fs))
+        spans = block_spans(block + 1, fs)
+        assert spans == [(0, block + 1)]
+
+    def test_too_short_rejected(self):
+        with pytest.raises(DataError):
+            block_spans(1, 256.0)
+
+
+class TestSyntheticRecordSource:
+    @pytest.mark.parametrize("chunk_s", CHUNK_SIZES)
+    def test_chunks_reassemble_batch_sample(self, dataset, sample_record, chunk_s):
+        source = dataset.sample_source(1, 0, 0)
+        data = np.concatenate(list(source.iter_chunks(chunk_s)), axis=1)
+        assert data.shape == sample_record.data.shape
+        assert np.array_equal(data, sample_record.data)
+
+    def test_metadata_matches_batch_record(self, dataset, sample_record):
+        source = dataset.sample_source(1, 0, 0)
+        assert source.record_id == sample_record.record_id
+        assert source.patient_id == sample_record.patient_id
+        assert source.fs == sample_record.fs
+        assert source.n_samples == sample_record.n_samples
+        assert source.duration_s == sample_record.duration_s
+        assert source.channel_names == sample_record.channel_names
+        assert list(source.annotations) == sample_record.annotations
+
+    def test_materialize_is_generate_sample(self, dataset, sample_record):
+        rec = dataset.sample_source(1, 0, 0).materialize(chunk_s=13.7)
+        assert np.array_equal(rec.data, sample_record.data)
+        assert rec.annotations == sample_record.annotations
+
+    def test_artifact_and_clutter_patients_stream_identically(self, dataset):
+        # Patient 2 schedules the Table-II outlier burst *and* clutter:
+        # the patch path with overlapping families must still be exact.
+        rec = dataset.generate_sample(2, 1, 0)
+        source = dataset.sample_source(2, 1, 0)
+        assert len(source.patches) > 2  # seizure + artifact/clutter waves
+        for chunk_s in (3.1, 45.0):
+            data = np.concatenate(list(source.iter_chunks(chunk_s)), axis=1)
+            assert np.array_equal(data, rec.data)
+
+    def test_seizure_free_source_parity(self, dataset, seizure_free_record):
+        source = dataset.seizure_free_source(1, 120.0, 0)
+        assert source.patches == ()
+        data = np.concatenate(list(source.iter_chunks(11.0)), axis=1)
+        assert np.array_equal(data, seizure_free_record.data)
+
+    def test_window_labels_match_record(self, dataset, sample_record):
+        source = dataset.sample_source(1, 0, 0)
+        assert np.array_equal(
+            source.window_labels(4.0, 1.0, 0.5),
+            sample_record.window_labels(4.0, 1.0, 0.5),
+        )
+
+    def test_determinism_across_instances(self, dataset):
+        a = dataset.sample_source(4, 1, 3)
+        b = SyntheticEEGDataset(duration_range_s=(300.0, 360.0)).sample_source(4, 1, 3)
+        for ca, cb in zip(a.iter_chunks(30.0), b.iter_chunks(30.0)):
+            assert np.array_equal(ca, cb)
+
+    def test_patch_validation(self, dataset):
+        source = dataset.sample_source(1, 0, 0)
+        from repro.data.sources import SignalPatch
+
+        with pytest.raises(DataError, match="does not fit"):
+            SyntheticRecordSource(
+                model=source.model,
+                entropy=source.entropy,
+                n_samples=100,
+                fs=source.fs,
+                patches=(SignalPatch(0, 50, np.ones(100)),),
+            )
+        with pytest.raises(DataError, match="channel"):
+            SyntheticRecordSource(
+                model=source.model,
+                entropy=source.entropy,
+                n_samples=1000,
+                fs=source.fs,
+                patches=(SignalPatch(7, 0, np.ones(10)),),
+            )
+
+    def test_bad_chunk_size_rejected(self, dataset):
+        source = dataset.sample_source(1, 0, 0)
+        with pytest.raises(DataError, match="chunk_s"):
+            next(source.iter_chunks(0.0))
+
+
+class TestArrayRecordSource:
+    @pytest.mark.parametrize("chunk_s", CHUNK_SIZES)
+    def test_chunks_reassemble(self, sample_record, chunk_s):
+        source = ArrayRecordSource(sample_record)
+        data = np.concatenate(list(source.iter_chunks(chunk_s)), axis=1)
+        assert np.array_equal(data, sample_record.data)
+
+    def test_materialize_returns_original_object(self, sample_record):
+        assert ArrayRecordSource(sample_record).materialize() is sample_record
+
+
+class TestEDFRecordSource:
+    @pytest.fixture(scope="class")
+    def edf_path(self, dataset, tmp_path_factory):
+        path = tmp_path_factory.mktemp("edf") / "rec.edf"
+        write_edf(dataset.generate_sample(8, 0, 0), path)
+        return path
+
+    @pytest.mark.parametrize("chunk_s", CHUNK_SIZES)
+    def test_chunks_reassemble_batch_read(self, edf_path, chunk_s):
+        batch = read_edf(edf_path)
+        source = EDFRecordSource(edf_path)
+        data = np.concatenate(list(source.iter_chunks(chunk_s)), axis=1)
+        assert np.array_equal(data, batch.data)
+
+    def test_metadata_matches_batch_read(self, edf_path):
+        batch = read_edf(edf_path)
+        source = EDFRecordSource(edf_path)
+        assert source.record_id == batch.record_id
+        assert source.patient_id == batch.patient_id
+        assert source.fs == batch.fs
+        assert source.n_samples == batch.n_samples
+        assert source.channel_names == batch.channel_names
+
+
+class TestContentDigest:
+    def test_invariant_to_chunk_size_and_path(self, dataset, sample_record):
+        source = dataset.sample_source(1, 0, 0)
+        digests = {record_content_digest(source, cs) for cs in CHUNK_SIZES}
+        digests.add(record_content_digest(sample_record))
+        digests.add(record_content_digest(ArrayRecordSource(sample_record), 3.3))
+        assert len(digests) == 1
+
+    def test_different_records_differ(self, dataset):
+        a = record_content_digest(dataset.sample_source(1, 0, 0))
+        b = record_content_digest(dataset.sample_source(1, 0, 1))
+        assert a != b
+
+    def test_channel_swap_changes_digest(self, sample_record):
+        # Per-channel hashing must still bind channel order: swapping
+        # rows is different content, not a permutation-invariant bag.
+        from repro.data.records import EEGRecord
+
+        swapped = EEGRecord(
+            data=sample_record.data[::-1].copy(),
+            fs=sample_record.fs,
+            channel_names=sample_record.channel_names,
+        )
+        assert record_content_digest(swapped) != record_content_digest(
+            sample_record
+        )

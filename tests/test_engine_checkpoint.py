@@ -463,3 +463,241 @@ class TestFailuresAndCheckpoints:
                 poisoned, checkpoint=path, max_failures=0
             )
         assert CohortCheckpoint(path).outcome_count() == len(tasks)
+
+
+class TestCompaction:
+    """``CohortCheckpoint.compact()``: rewrite a journal from its parsed
+    outcomes, dropping dead weight, preserving the run identity."""
+
+    def dirty_journal(self, dataset, tasks, tmp_path):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        lines = path.read_text().splitlines(keepends=True)
+        # Dead weight a long-lived journal accretes: a duplicate append
+        # (two runs sharing the file), a corrupt line, and the partial
+        # trailing line a kill leaves behind.
+        with open(path, "a") as fh:
+            fh.write(lines[1])
+            fh.write('{"outcome": {"broken": true}}\n')
+            fh.write(lines[2][: len(lines[2]) // 2])
+        return path
+
+    def test_compact_drops_dead_lines_preserves_digests(
+        self, dataset, tasks, tmp_path
+    ):
+        path = self.dirty_journal(dataset, tasks, tmp_path)
+        before_header = path.read_text().splitlines()[0]
+        journal = CohortCheckpoint(path)
+        result = journal.compact()
+        assert result["kept"] == len(tasks)
+        assert result["dropped"] == 3
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1 + len(tasks)
+        assert lines[0] == before_header  # work/config digests verbatim
+        assert result["bytes"] == len(path.read_bytes())
+
+    def test_compacted_journal_resumes_identically(
+        self, dataset, tasks, tmp_path, baseline, counter
+    ):
+        path = self.dirty_journal(dataset, tasks, tmp_path)
+        CohortCheckpoint(path).compact()
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=path
+        )
+        assert counter["n"] == 0  # everything restored, nothing re-run
+        assert report.to_json() == baseline
+
+    def test_compact_is_idempotent(self, dataset, tasks, tmp_path):
+        path = self.dirty_journal(dataset, tasks, tmp_path)
+        CohortCheckpoint(path).compact()
+        before = path.read_bytes()
+        result = CohortCheckpoint(path).compact()
+        assert result["dropped"] == 0
+        assert path.read_bytes() == before
+
+    def test_compact_open_journal_refused(self, dataset, tasks, tmp_path):
+        path = tmp_path / "run.ckpt"
+        journal = CohortCheckpoint(path)
+        journal.begin(work_list_digest(tasks), "cfg")
+        try:
+            with pytest.raises(CheckpointError, match="open"):
+                journal.compact()
+        finally:
+            journal.close()
+
+    def test_compact_missing_journal_refused(self, tmp_path):
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            CohortCheckpoint(tmp_path / "absent.ckpt").compact()
+
+    def test_compact_foreign_file_refused_and_untouched(self, tmp_path):
+        foreign = tmp_path / "notes.jsonl"
+        foreign.write_text('{"line": 1}\n')
+        with pytest.raises(CheckpointError, match="not a cohort checkpoint"):
+            CohortCheckpoint(foreign).compact()
+        assert foreign.read_text() == '{"line": 1}\n'
+
+
+class TestMergeCheckpoints:
+    """``merge_checkpoints``: shard journals of one work list combine
+    into a single journal the full run resumes from."""
+
+    def shard_journals(self, dataset, tasks, tmp_path, split=2):
+        paths = []
+        for i, shard in enumerate((tasks[:split], tasks[split:])):
+            path = tmp_path / f"shard{i}.ckpt"
+            CohortEngine(dataset, executor="serial").run(
+                shard, checkpoint=path
+            )
+            paths.append(path)
+        return paths
+
+    def test_merged_journal_resumes_the_full_work_list(
+        self, dataset, tasks, tmp_path, baseline, counter
+    ):
+        from repro.engine import merge_checkpoints
+
+        shards = self.shard_journals(dataset, tasks, tmp_path)
+        merged = tmp_path / "merged.ckpt"
+        result = merge_checkpoints(
+            merged, shards, work_digest=work_list_digest(tasks)
+        )
+        assert result == {
+            "sources": 2, "outcomes": len(tasks), "duplicates": 0, "dropped": 0,
+        }
+        counter["n"] = 0
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=merged
+        )
+        assert counter["n"] == 0  # every shard outcome restored
+        assert report.to_json() == baseline
+
+    def test_overlapping_shards_collapse_duplicates(
+        self, dataset, tasks, tmp_path
+    ):
+        from repro.engine import merge_checkpoints
+
+        a = tmp_path / "a.ckpt"
+        b = tmp_path / "b.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks[:3], checkpoint=a)
+        CohortEngine(dataset, executor="serial").run(tasks[1:], checkpoint=b)
+        merged = tmp_path / "merged.ckpt"
+        result = merge_checkpoints(
+            merged, [a, b], work_digest=work_list_digest(tasks)
+        )
+        assert result["outcomes"] == len(tasks)
+        assert result["duplicates"] == 2
+
+    def test_differing_work_digests_require_explicit_target(
+        self, dataset, tasks, tmp_path
+    ):
+        from repro.engine import merge_checkpoints
+
+        shards = self.shard_journals(dataset, tasks, tmp_path)
+        with pytest.raises(CheckpointError, match="work digest"):
+            merge_checkpoints(tmp_path / "merged.ckpt", shards)
+        assert not (tmp_path / "merged.ckpt").exists()
+
+    def test_identical_work_digests_merge_without_target(
+        self, dataset, tasks, tmp_path, baseline
+    ):
+        import shutil
+
+        from repro.engine import merge_checkpoints
+
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        copy = tmp_path / "copy.ckpt"
+        shutil.copy(path, copy)
+        merged = tmp_path / "merged.ckpt"
+        result = merge_checkpoints(merged, [path, copy])
+        assert result["duplicates"] == len(tasks)
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=merged
+        )
+        assert report.to_json() == baseline
+
+    def test_config_mismatch_rejected(self, dataset, tasks, tmp_path):
+        from repro.data import SyntheticEEGDataset
+        from repro.engine import merge_checkpoints
+
+        other = SyntheticEEGDataset(
+            seed=7, duration_range_s=(300.0, 360.0)
+        )
+        a = tmp_path / "a.ckpt"
+        b = tmp_path / "b.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks[:2], checkpoint=a)
+        CohortEngine(other, executor="serial").run(tasks[2:], checkpoint=b)
+        with pytest.raises(CheckpointError, match="configurations"):
+            merge_checkpoints(
+                tmp_path / "merged.ckpt",
+                [a, b],
+                work_digest=work_list_digest(tasks),
+            )
+
+    def test_expected_config_pin_rejected_on_mismatch(
+        self, dataset, tasks, tmp_path
+    ):
+        from repro.engine import merge_checkpoints
+
+        shards = self.shard_journals(dataset, tasks, tmp_path)
+        with pytest.raises(CheckpointError, match="expects"):
+            merge_checkpoints(
+                tmp_path / "merged.ckpt",
+                shards,
+                work_digest=work_list_digest(tasks),
+                expected_config="not-the-config",
+            )
+
+    def test_existing_destination_refused(self, dataset, tasks, tmp_path):
+        from repro.engine import merge_checkpoints
+
+        shards = self.shard_journals(dataset, tasks, tmp_path)
+        dest = tmp_path / "merged.ckpt"
+        dest.write_text("precious\n")
+        with pytest.raises(CheckpointError, match="already exists"):
+            merge_checkpoints(
+                dest, shards, work_digest=work_list_digest(tasks)
+            )
+        assert dest.read_text() == "precious\n"
+
+    def test_invalid_source_journal_refused(self, dataset, tasks, tmp_path):
+        from repro.engine import merge_checkpoints
+
+        shards = self.shard_journals(dataset, tasks, tmp_path)
+        empty = tmp_path / "empty.ckpt"
+        empty.write_text("")
+        with pytest.raises(CheckpointError, match="no valid checkpoint"):
+            merge_checkpoints(
+                tmp_path / "merged.ckpt",
+                shards + [empty],
+                work_digest=work_list_digest(tasks),
+            )
+
+    def test_no_sources_refused(self, tmp_path):
+        from repro.engine import merge_checkpoints
+
+        with pytest.raises(CheckpointError, match="no source"):
+            merge_checkpoints(tmp_path / "merged.ckpt", [])
+
+    def test_outcomes_outside_the_work_list_never_leak(
+        self, dataset, tasks, tmp_path
+    ):
+        # A merged journal stamped (by operator override) with a SUBSET
+        # work digest still carries every shard outcome; resuming the
+        # subset must restore only its own records — the report is
+        # defined as exactly the work list, never the journal superset.
+        from repro.engine import merge_checkpoints
+
+        shards = self.shard_journals(dataset, tasks, tmp_path)
+        subset = tasks[:3]
+        merged = tmp_path / "merged.ckpt"
+        merge_checkpoints(
+            merged, shards, work_digest=work_list_digest(subset)
+        )
+        report = CohortEngine(dataset, executor="serial").run(
+            subset, checkpoint=merged
+        )
+        direct = CohortEngine(dataset, executor="serial").run(subset)
+        assert report.n_records == len(subset)
+        assert report.to_json() == direct.to_json()

@@ -102,6 +102,101 @@ class TestChunkedEqualsBatch:
             extract_features_chunked(sample_record, chunk_s=0.0)
 
 
+class TestChunkSizeInvariance:
+    """The streaming data plane: any chunk size, byte-identical output.
+
+    Workers consume :class:`RecordSource` streams instead of whole
+    records; the equivalence contract therefore extends from "chunked ==
+    batch" to "chunked == batch *at any chunk size*", end to end through
+    the engine report.
+    """
+
+    TASKS = (RecordTask(1, 0, 0), RecordTask(8, 0, 0))
+
+    def test_source_extraction_equals_batch(self, dataset, sample_record):
+        from repro.engine import extract_features_from_source
+
+        source = dataset.sample_source(1, 0, 0)
+        extractor = Paper10FeatureExtractor()
+        batch = extract_features(sample_record, extractor)
+        for chunk_s in (0.5, 7.0, 60.0):
+            streamed = extract_features_from_source(
+                source, extractor, chunk_s=chunk_s
+            )
+            assert np.array_equal(streamed.values, batch.values)
+
+    def test_reports_byte_identical_across_chunk_sizes(self, dataset):
+        baseline = (
+            CohortEngine(dataset, executor="serial").run(self.TASKS).to_json()
+        )
+        for chunk_s in (2.5, 17.3, 600.0):
+            report = (
+                CohortEngine(dataset, executor="serial", chunk_s=chunk_s)
+                .run(self.TASKS)
+                .to_json()
+            )
+            assert report == baseline
+
+    def test_pool_backends_with_small_chunks(self, dataset):
+        baseline = (
+            CohortEngine(dataset, executor="serial").run(self.TASKS).to_json()
+        )
+        for executor in ("thread", "process"):
+            report = (
+                CohortEngine(
+                    dataset, max_workers=2, executor=executor, chunk_s=5.0
+                )
+                .run(self.TASKS)
+                .to_json()
+            )
+            assert report == baseline
+
+    def test_store_keys_invariant_to_chunk_size(self, dataset, tmp_path):
+        # A disk store populated at one --chunk-s must serve every other:
+        # the content digest is computed from the streamed bytes, not
+        # from the chunking.
+        store_dir = str(tmp_path / "store")
+        first = CohortEngine(
+            dataset, executor="serial", chunk_s=60.0, store_dir=store_dir
+        )
+        first.run(self.TASKS)
+        assert first.cache_stats()["store"]["writes"] == len(self.TASKS)
+
+        second = CohortEngine(
+            dataset, executor="serial", chunk_s=4.5, store_dir=store_dir
+        )
+        second.run(self.TASKS)
+        stats = second.cache_stats()["store"]
+        assert stats["hits"] == len(self.TASKS)
+        assert stats["writes"] == 0
+
+    def test_tiny_chunks_coalesce_into_bounded_pushes(self, monkeypatch):
+        # chunk_s far below one window step must not multiply the
+        # streaming extractor's re-buffering: pushes are coalesced to at
+        # least one step, so the push count matches chunk_s == step_s.
+        from repro.core.streaming import StreamingFeatureExtractor
+
+        calls = {"n": 0}
+        original = StreamingFeatureExtractor.push
+
+        def counting(self, chunk):
+            calls["n"] += 1
+            return original(self, chunk)
+
+        monkeypatch.setattr(StreamingFeatureExtractor, "push", counting)
+        record = EEGRecord(
+            data=np.random.default_rng(3).standard_normal((2, int(30 * FS))),
+            fs=FS,
+        )
+        spec = WindowSpec(4.0, 1.0)
+        tiny = extract_features_chunked(record, spec=spec, chunk_s=0.01)
+        n_pushes = calls["n"]
+        assert n_pushes <= 31  # one push per 1 s step (+ final partial)
+        calls["n"] = 0
+        batch = extract_features(record, Paper10FeatureExtractor(), spec)
+        assert np.array_equal(tiny.values, batch.values)
+
+
 class TestEngineParity:
     """Engine output == sequential pipeline, at workers=1 and workers=4."""
 
