@@ -53,10 +53,19 @@ from .engine import (
     RecordTask,
     SelfLearningDriver,
     SelfLearningTask,
+    ShardLauncher,
+    ShardSpec,
     cohort_tasks,
+    collect_shards,
     extract_features_chunked,
     extract_features_from_source,
     merge_checkpoints,
+    merge_shards,
+    merged_report,
+    orchestrate,
+    plan_shards,
+    run_shard,
+    write_plan,
 )
 from .data import (
     ArrayRecordSource,
@@ -133,10 +142,19 @@ __all__ = [
     "RecordTask",
     "SelfLearningDriver",
     "SelfLearningTask",
+    "ShardLauncher",
+    "ShardSpec",
     "cohort_tasks",
+    "collect_shards",
     "extract_features_chunked",
     "extract_features_from_source",
     "merge_checkpoints",
+    "merge_shards",
+    "merged_report",
+    "orchestrate",
+    "plan_shards",
+    "run_shard",
+    "write_plan",
     # data
     "ArrayRecordSource",
     "EDFRecordSource",

@@ -17,6 +17,13 @@ code:
   rewrites a long-lived journal from its parsed outcomes;
 * ``checkpoint`` — journal tooling: ``merge`` combines shard journals of
   one work list into a single resumable checkpoint;
+* ``shard``    — the distributed front-end: ``plan`` partitions a cohort
+  into self-contained shard manifests, ``run`` executes one manifest as
+  an independent checkpointed run (the unit a remote machine would
+  execute), ``collect`` validates shard journals and reports coverage,
+  ``merge`` folds them into one checkpoint (+ optional report), and
+  ``orchestrate`` drives the whole plan -> launch -> collect -> merge
+  loop over local subprocesses in one command;
 * ``store``    — lifecycle management for a persistent feature store
   directory (``stats`` / ``verify`` / ``gc`` / ``clear``);
 * ``lifetime`` — evaluate the wearable battery model at a given seizure
@@ -29,6 +36,7 @@ import argparse
 import os
 import sys
 import time
+from pathlib import Path
 
 from .core.diagnostics import label_confidence
 from .core.deviation import deviation, normalized_deviation
@@ -42,14 +50,24 @@ from .data.sampling import (
 )
 from .engine import (
     DEFAULT_CHUNK_S,
+    SHARD_STRATEGIES,
     CohortCheckpoint,
     CohortEngine,
     DiskFeatureStore,
+    ShardSpec,
     cohort_tasks,
+    collect_shards,
     config_digest,
     default_executor,
+    load_plan,
     merge_checkpoints,
+    merge_shards,
+    merged_report,
+    orchestrate,
+    plan_shards,
+    run_shard,
     work_list_digest,
+    write_plan,
 )
 from .exceptions import ReproError
 from .platform.battery import WearablePlatform
@@ -62,6 +80,32 @@ _CLI_DURATION_MIN = 8.0
 _CLI_DURATION_MAX = 15.0
 #: Sec. VI-A: 100 samples for each of the 45 seizures.
 _PAPER_SAMPLES_PER_SEIZURE = 100
+
+
+def _add_scale_args(parser: argparse.ArgumentParser) -> None:
+    """The cohort scale/filter knobs, shared by the shard subcommands
+    (same semantics and precedence as ``repro cohort``)."""
+    parser.add_argument(
+        "--patients",
+        default="",
+        help="comma-separated patient ids (default: the full cohort)",
+    )
+    parser.add_argument(
+        "--samples", type=int, default=None,
+        help="samples per seizure (as for cohort)",
+    )
+    parser.add_argument(
+        "--duration-min", type=float, default=None,
+        help="minimum record duration in minutes (as for cohort)",
+    )
+    parser.add_argument(
+        "--duration-max", type=float, default=None,
+        help="maximum record duration in minutes (as for cohort)",
+    )
+    parser.add_argument(
+        "--paper-scale", action="store_true",
+        help="Sec. VI-A paper scale (as for cohort)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -254,6 +298,138 @@ def build_parser() -> argparse.ArgumentParser:
         help="merged run at Sec. VI-A paper scale (as for cohort)",
     )
 
+    p_shard = sub.add_parser(
+        "shard",
+        help="distributed shard orchestration: partition, launch, "
+        "collect, merge cohort runs",
+    )
+    shard_sub = p_shard.add_subparsers(dest="shard_command", required=True)
+
+    p_splan = shard_sub.add_parser(
+        "plan",
+        help="partition a cohort work list into N self-contained shard "
+        "manifests",
+    )
+    p_splan.add_argument(
+        "--out-dir", required=True, metavar="DIR",
+        help="plan directory (manifests, journals, and logs live here)",
+    )
+    p_splan.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shards to partition the work list into",
+    )
+    p_splan.add_argument(
+        "--strategy", choices=SHARD_STRATEGIES, default="contiguous",
+        help="partition strategy (default: contiguous)",
+    )
+    _add_scale_args(p_splan)
+
+    p_srun = shard_sub.add_parser(
+        "run",
+        help="execute one shard manifest as an independent checkpointed "
+        "run (resumes from its own journal automatically)",
+    )
+    p_srun.add_argument("manifest", help="shard manifest (shard-NNN.json)")
+    p_srun.add_argument(
+        "--journal", default="", metavar="PATH",
+        help="shard checkpoint journal (default: the manifest path with "
+        "a .ckpt suffix)",
+    )
+    p_srun.add_argument(
+        "--executor", choices=("process", "thread", "serial"), default=None,
+        help="pool kind inside this shard (default: "
+        "$REPRO_ENGINE_EXECUTOR, else process)",
+    )
+    p_srun.add_argument(
+        "--workers", type=int, default=None,
+        help="worker pool size inside this shard (default: CPU count)",
+    )
+    p_srun.add_argument(
+        "--store", default="", metavar="DIR",
+        help="persistent feature store directory shared across shards",
+    )
+    p_srun.add_argument(
+        "--chunk-s", type=float, default=None, metavar="SECONDS",
+        help="streaming chunk size (as for cohort; never changes bytes)",
+    )
+
+    p_scollect = shard_sub.add_parser(
+        "collect",
+        help="validate shard journals against the plan and report "
+        "per-shard coverage (exit 1 while incomplete)",
+    )
+    p_scollect.add_argument("plan_dir", help="plan directory")
+
+    p_smerge = shard_sub.add_parser(
+        "merge",
+        help="fold complete shard journals into one checkpoint and "
+        "optionally emit the cohort report",
+    )
+    p_smerge.add_argument("plan_dir", help="plan directory")
+    p_smerge.add_argument(
+        "--out", required=True, metavar="PATH",
+        help="merged checkpoint destination (must not exist)",
+    )
+    p_smerge.add_argument(
+        "--report", default="", metavar="PATH",
+        help="also aggregate the merged outcomes and write the "
+        "canonical CohortReport JSON here (byte-identical to a "
+        "single-node run)",
+    )
+
+    p_sorch = shard_sub.add_parser(
+        "orchestrate",
+        help="plan (or reuse a plan), launch every incomplete shard as "
+        "a local subprocess, collect, merge, and report — one command",
+    )
+    p_sorch.add_argument(
+        "--out-dir", required=True, metavar="DIR",
+        help="plan directory; an existing plan for the same cohort is "
+        "reused (completed shards skipped, partial shards resumed)",
+    )
+    p_sorch.add_argument(
+        "--shards", type=int, required=True, metavar="N",
+        help="number of shards",
+    )
+    p_sorch.add_argument(
+        "--strategy", choices=SHARD_STRATEGIES, default="contiguous",
+        help="partition strategy (default: contiguous)",
+    )
+    _add_scale_args(p_sorch)
+    p_sorch.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="concurrent shard subprocesses (default: shard count "
+        "capped by CPU count)",
+    )
+    p_sorch.add_argument(
+        "--shard-workers", type=int, default=1, metavar="N",
+        help="worker pool size inside each shard (default 1: "
+        "parallelism comes from concurrent shards)",
+    )
+    p_sorch.add_argument(
+        "--executor", choices=("process", "thread", "serial"), default=None,
+        help="pool kind inside each shard (default: "
+        "$REPRO_ENGINE_EXECUTOR, else process)",
+    )
+    p_sorch.add_argument(
+        "--store", default="", metavar="DIR",
+        help="feature store directory shared by every shard",
+    )
+    p_sorch.add_argument(
+        "--chunk-s", type=float, default=None, metavar="SECONDS",
+        help="streaming chunk size inside each shard",
+    )
+    p_sorch.add_argument(
+        "--keep-going", action="store_true",
+        help="continue-on-shard-failure: run every shard to its own "
+        "conclusion before reporting failures (default: fail fast, "
+        "terminating in-flight shards on the first failure)",
+    )
+    p_sorch.add_argument(
+        "--json", default="", metavar="PATH",
+        help="write the canonical CohortReport JSON to this file",
+    )
+
     p_store = sub.add_parser(
         "store", help="manage a persistent feature store directory"
     )
@@ -384,25 +560,64 @@ def _parse_patient_ids(text: str) -> list[int] | None:
     return patient_ids
 
 
+def _print_report_table(report) -> None:
+    """Render the Table I/II-style rollup (shared by cohort and shard)."""
+    print(f"{'patient':>7}  {'records':>7}  {'delta_s':>8}  {'d_norm':>7}  "
+          f"{'sens':>6}  {'spec':>6}  {'gmean':>6}")
+    for row in report.table_rows():
+        print(
+            f"{row['patient']:>7d}  {row['records']:>7d}  "
+            f"{row['median_delta_s']:>8.1f}  {row['median_delta_norm']:>7.4f}  "
+            f"{row['sensitivity']:>6.3f}  {row['specificity']:>6.3f}  "
+            f"{row['geometric_mean']:>6.3f}"
+        )
+    print(
+        f"cohort: {report.n_records} records, median delta = "
+        f"{report.median_delta_s:.1f} s, median delta_norm = "
+        f"{report.median_delta_norm:.4f}, gmean = {report.geometric_mean:.3f}"
+    )
+
+
+def _validated_cohort_scale(
+    args: argparse.Namespace,
+) -> tuple[int, tuple[float, float], list[int] | None]:
+    """Resolve *and validate* the shared cohort scale/filter flags.
+
+    The single source of truth for every command that must agree with
+    ``repro cohort`` on what a set of scale flags means (``cohort``,
+    ``checkpoint merge``, the ``shard`` family — byte parity between
+    them depends on identical resolution).  Raises ``ValueError``; the
+    handlers print it as the usual clean error.
+    """
+    samples, duration_range_s = resolve_cohort_scale(args)
+    if duration_range_s[0] <= 0 or duration_range_s[1] < duration_range_s[0]:
+        raise ValueError("invalid duration range")
+    if samples < 1:
+        raise ValueError("--samples must be >= 1")
+    return samples, duration_range_s, _parse_patient_ids(args.patients)
+
+
+def _write_report_json(path: str, report) -> int:
+    """Write the canonical report JSON (shared by cohort / shard merge /
+    shard orchestrate, whose outputs must stay byte-compatible)."""
+    try:
+        with open(path, "w") as fh:
+            fh.write(report.to_json())
+    except OSError as exc:
+        print(f"error: cannot write {path}: {exc}", file=sys.stderr)
+        return 2
+    print(f"report JSON written to {path}")
+    return 0
+
+
 def _cmd_cohort(args: argparse.Namespace) -> int:
     try:
-        samples, duration_range_s = resolve_cohort_scale(args)
+        samples, duration_range_s, patient_ids = _validated_cohort_scale(args)
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
-        return 2
-    if duration_range_s[0] <= 0 or duration_range_s[1] < duration_range_s[0]:
-        print("error: invalid duration range", file=sys.stderr)
-        return 2
-    if samples < 1:
-        print("error: --samples must be >= 1", file=sys.stderr)
         return 2
     if args.chunk_s is not None and args.chunk_s <= 0:
         print("error: --chunk-s must be positive", file=sys.stderr)
-        return 2
-    try:
-        patient_ids = _parse_patient_ids(args.patients)
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
         return 2
     if args.resume and not args.checkpoint:
         print("error: --resume requires --checkpoint", file=sys.stderr)
@@ -461,20 +676,7 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(f"{'patient':>7}  {'records':>7}  {'delta_s':>8}  {'d_norm':>7}  "
-          f"{'sens':>6}  {'spec':>6}  {'gmean':>6}")
-    for row in report.table_rows():
-        print(
-            f"{row['patient']:>7d}  {row['records']:>7d}  "
-            f"{row['median_delta_s']:>8.1f}  {row['median_delta_norm']:>7.4f}  "
-            f"{row['sensitivity']:>6.3f}  {row['specificity']:>6.3f}  "
-            f"{row['geometric_mean']:>6.3f}"
-        )
-    print(
-        f"cohort: {report.n_records} records, median delta = "
-        f"{report.median_delta_s:.1f} s, median delta_norm = "
-        f"{report.median_delta_norm:.4f}, gmean = {report.geometric_mean:.3f}"
-    )
+    _print_report_table(report)
     if report.n_failures:
         print(
             f"failures: {report.n_failures} record(s) tolerated "
@@ -492,19 +694,18 @@ def _cmd_cohort(args: argparse.Namespace) -> int:
             f"checkpoint: {resumed_records} record(s) restored from "
             f"{args.checkpoint}, {fresh} processed this run"
         )
+        if checkpoint.auto_compactions:
+            print(
+                f"checkpoint: journal auto-compacted (dead-line weight "
+                f"reached {checkpoint.compact_dead_lines})"
+            )
     print(
         f"executed in {elapsed:.1f} s ({executor}, "
         f"{engine.effective_workers(report.n_records + report.n_failures)} "
         f"worker(s))"
     )
     if args.json:
-        try:
-            with open(args.json, "w") as fh:
-                fh.write(report.to_json())
-        except OSError as exc:
-            print(f"error: cannot write {args.json}: {exc}", file=sys.stderr)
-            return 2
-        print(f"report JSON written to {args.json}")
+        return _write_report_json(args.json, report)
     return 0
 
 
@@ -525,28 +726,12 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
     expected_config = None
     if wants_scale:
         try:
-            samples, duration_range_s = resolve_cohort_scale(args)
-            patient_ids = _parse_patient_ids(args.patients)
-        except ValueError as exc:
+            tasks, config = _resolve_shard_cohort(args)
+        except (ValueError, ReproError) as exc:
             print(f"error: {exc}", file=sys.stderr)
             return 2
-        if duration_range_s[0] <= 0 or duration_range_s[1] < duration_range_s[0]:
-            print("error: invalid duration range", file=sys.stderr)
-            return 2
-        if samples < 1:
-            print("error: --samples must be >= 1", file=sys.stderr)
-            return 2
-        try:
-            dataset = SyntheticEEGDataset(duration_range_s=duration_range_s)
-            engine = CohortEngine(dataset, executor="serial")
-            tasks = cohort_tasks(
-                dataset, samples_per_seizure=samples, patient_ids=patient_ids
-            )
-            work_digest = work_list_digest(tasks)
-            expected_config = config_digest(engine.config)
-        except ReproError as exc:
-            print(f"error: {exc}", file=sys.stderr)
-            return 2
+        work_digest = work_list_digest(tasks)
+        expected_config = config_digest(config)
     try:
         result = merge_checkpoints(
             args.out,
@@ -563,6 +748,216 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         f"duplicate(s) collapsed, {result['dropped']} dead line(s) dropped"
     )
     return 0
+
+
+def _resolve_shard_cohort(args: argparse.Namespace):
+    """Resolve the scale/filter flags into ``(tasks, engine_config)``
+    exactly the way ``repro cohort`` would — the planned shards must add
+    up to the run a single node would execute.
+
+    Raises ``ValueError`` for bad flag values (caller prints and exits
+    2, matching the other commands).
+    """
+    samples, duration_range_s, patient_ids = _validated_cohort_scale(args)
+    dataset = SyntheticEEGDataset(duration_range_s=duration_range_s)
+    engine = CohortEngine(dataset, executor="serial")
+    tasks = cohort_tasks(
+        dataset, samples_per_seizure=samples, patient_ids=patient_ids
+    )
+    return tasks, engine.config
+
+
+def _cmd_shard_plan(args: argparse.Namespace) -> int:
+    try:
+        tasks, config = _resolve_shard_cohort(args)
+    except (ValueError, ReproError) as exc:
+        # ValueError for bad flag values, DataError/EngineError for a
+        # dataset or patient filter the cohort cannot satisfy.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir)
+    if sorted(out_dir.glob("shard-*.json")):
+        print(
+            f"error: {out_dir} already contains a shard plan; point "
+            f"--out-dir at a fresh directory or delete the old plan",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        specs = plan_shards(tasks, config, args.shards, strategy=args.strategy)
+        write_plan(out_dir, specs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    sizes = ", ".join(str(len(s.tasks)) for s in specs)
+    print(
+        f"planned {len(specs)} shard(s) ({args.strategy}) over "
+        f"{len(tasks)} task(s) -> {out_dir}"
+    )
+    print(f"shard sizes: {sizes}")
+    print(f"work digest: {specs[0].work}")
+    print(f"config digest: {specs[0].config}")
+    return 0
+
+
+def _cmd_shard_run(args: argparse.Namespace) -> int:
+    if args.chunk_s is not None and args.chunk_s <= 0:
+        print("error: --chunk-s must be positive", file=sys.stderr)
+        return 2
+    journal = args.journal or str(Path(args.manifest).with_suffix(".ckpt"))
+    try:
+        spec = ShardSpec.load(args.manifest)
+        if not spec.tasks:
+            print(
+                f"shard {spec.shard_index}/{spec.n_shards}: 0 task(s), "
+                f"nothing to run"
+            )
+            return 0
+        ckpt = CohortCheckpoint(journal)
+        restored = ckpt.outcome_count()
+        start = time.perf_counter()
+        report = run_shard(
+            spec,
+            journal=ckpt,
+            executor=args.executor,
+            max_workers=args.workers,
+            chunk_s=args.chunk_s,
+            store_dir=args.store or None,
+        )
+        elapsed = time.perf_counter() - start
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"shard {spec.shard_index}/{spec.n_shards}: {report.n_records} "
+        f"record(s) complete ({restored} restored, "
+        f"{report.n_records - restored} processed in {elapsed:.1f} s), "
+        f"journal {journal}"
+    )
+    return 0
+
+
+def _cmd_shard_collect(args: argparse.Namespace) -> int:
+    try:
+        specs = load_plan(args.plan_dir)
+        statuses = collect_shards(args.plan_dir, specs=specs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"{'shard':>5}  {'tasks':>5}  {'done':>5}  {'missing':>7}  state")
+    for status in statuses:
+        if status.complete:
+            state = "complete"
+        elif status.journal.exists():
+            state = "partial"
+        else:
+            state = "not started"
+        print(
+            f"{status.spec.shard_index:>5d}  {status.total:>5d}  "
+            f"{status.done:>5d}  {status.missing:>7d}  {state}"
+        )
+    done = sum(s.done for s in statuses)
+    total = sum(s.total for s in statuses)
+    complete = all(s.complete for s in statuses)
+    print(
+        f"coverage: {done}/{total} record(s) across {len(statuses)} "
+        f"shard(s) ({'complete' if complete else 'incomplete'})"
+    )
+    return 0 if complete else 1
+
+
+def _cmd_shard_merge(args: argparse.Namespace) -> int:
+    try:
+        specs = load_plan(args.plan_dir)
+        stats = merge_shards(args.plan_dir, args.out, specs=specs)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"merged {stats['sources']} shard journal(s) into {args.out}: "
+        f"{stats['outcomes']} outcome(s), {stats['duplicates']} "
+        f"duplicate(s) collapsed, {stats['dropped']} dead line(s) dropped"
+    )
+    if args.report:
+        try:
+            report = merged_report(args.plan_dir, args.out, specs=specs)
+        except ReproError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        _print_report_table(report)
+        return _write_report_json(args.report, report)
+    return 0
+
+
+def _cmd_shard_orchestrate(args: argparse.Namespace) -> int:
+    if args.jobs is not None and args.jobs < 1:
+        print("error: --jobs must be >= 1", file=sys.stderr)
+        return 2
+    if args.chunk_s is not None and args.chunk_s <= 0:
+        print("error: --chunk-s must be positive", file=sys.stderr)
+        return 2
+    try:
+        tasks, config = _resolve_shard_cohort(args)
+    except (ValueError, ReproError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out_dir = Path(args.out_dir)
+    try:
+        specs = plan_shards(tasks, config, args.shards, strategy=args.strategy)
+        if sorted(out_dir.glob("shard-*.json")):
+            # Resume semantics: an existing plan is reused so completed
+            # shards are skipped and partial ones continue — but only if
+            # it describes exactly this cohort, scale, and partition; a
+            # mismatched directory must never be silently overwritten.
+            existing = load_plan(out_dir)
+            if existing != specs:
+                print(
+                    f"error: {out_dir} holds a plan for a different "
+                    f"run (cohort, scale, shard count, or strategy "
+                    f"differ); point --out-dir elsewhere or delete it",
+                    file=sys.stderr,
+                )
+                return 2
+            specs = existing
+        else:
+            write_plan(out_dir, specs)
+        start = time.perf_counter()
+        report, summary = orchestrate(
+            out_dir,
+            specs=specs,
+            jobs=args.jobs,
+            shard_workers=args.shard_workers,
+            executor=args.executor,
+            store_dir=args.store or None,
+            chunk_s=args.chunk_s,
+            fail_fast=not args.keep_going,
+        )
+        elapsed = time.perf_counter() - start
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    launched = summary["launched"]
+    print(
+        f"orchestrated {summary['shards']} shard(s) in {elapsed:.1f} s: "
+        f"launched {len(launched)} ({launched}), resumed "
+        f"{summary['resumed']}, merged {summary['sources']} journal(s) "
+        f"-> {summary['merged']}"
+    )
+    _print_report_table(report)
+    if args.json:
+        return _write_report_json(args.json, report)
+    return 0
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    handlers = {
+        "plan": _cmd_shard_plan,
+        "run": _cmd_shard_run,
+        "collect": _cmd_shard_collect,
+        "merge": _cmd_shard_merge,
+        "orchestrate": _cmd_shard_orchestrate,
+    }
+    return handlers[args.shard_command](args)
 
 
 def _cmd_store(args: argparse.Namespace) -> int:
@@ -629,6 +1024,7 @@ def main(argv: list[str] | None = None) -> int:
         "simulate": _cmd_simulate,
         "cohort": _cmd_cohort,
         "checkpoint": _cmd_checkpoint,
+        "shard": _cmd_shard,
         "store": _cmd_store,
         "lifetime": _cmd_lifetime,
     }

@@ -20,13 +20,22 @@ rows, not pool aborts — and resumable via the persistent feature store.
   stale-entry GC);
 * :class:`CohortCheckpoint` — record-level run journal: a killed run
   resumes by skipping completed records, byte-identical to an
-  uninterrupted run;
+  uninterrupted run (dead journal weight auto-compacts past a cadence
+  threshold);
+* :mod:`sharding <repro.engine.sharding>` — the distributed front-end:
+  :func:`plan_shards` partitions a work list into :class:`ShardSpec`
+  manifests, :func:`run_shard` executes one as an independent
+  checkpointed run, :func:`collect_shards` / :func:`merge_shards` /
+  :func:`merged_report` validate and fold the shard journals back, and
+  :class:`ShardLauncher` / :func:`orchestrate` drive the whole loop over
+  local subprocess "machines";
 * :class:`SelfLearningDriver` / :class:`SelfLearningTask` — the closed
   self-learning loop with its per-record labeling phase fanned out.
 """
 
 from .cache import FeatureCache, feature_cache_key, source_cache_key
 from .checkpoint import (
+    DEFAULT_COMPACT_DEAD_LINES,
     CohortCheckpoint,
     config_digest,
     merge_checkpoints,
@@ -46,12 +55,29 @@ from .executor import (
 )
 from .report import CohortReport, PatientSummary, RecordOutcome
 from .selflearning import SelfLearningDriver, SelfLearningTask
+from .sharding import (
+    SHARD_STRATEGIES,
+    ShardLauncher,
+    ShardSpec,
+    ShardStatus,
+    collect_shards,
+    load_plan,
+    merge_shards,
+    merged_report,
+    orchestrate,
+    partition_tasks,
+    plan_shards,
+    run_shard,
+    write_plan,
+)
 from .store import DiskFeatureStore, store_key_digest
 from .tasks import RecordTask, cohort_tasks
 
 __all__ = [
     "DEFAULT_CHUNK_S",
+    "DEFAULT_COMPACT_DEAD_LINES",
     "ENV_EXECUTOR",
+    "SHARD_STRATEGIES",
     "CohortCheckpoint",
     "CohortEngine",
     "CohortReport",
@@ -63,15 +89,27 @@ __all__ = [
     "RecordTask",
     "SelfLearningDriver",
     "SelfLearningTask",
+    "ShardLauncher",
+    "ShardSpec",
+    "ShardStatus",
     "coalesce_chunks",
     "cohort_tasks",
+    "collect_shards",
     "config_digest",
     "default_executor",
     "extract_features_chunked",
     "extract_features_from_source",
     "feature_cache_key",
+    "load_plan",
     "merge_checkpoints",
+    "merge_shards",
+    "merged_report",
+    "orchestrate",
+    "partition_tasks",
+    "plan_shards",
+    "run_shard",
     "source_cache_key",
     "store_key_digest",
     "work_list_digest",
+    "write_plan",
 ]

@@ -53,11 +53,20 @@ from ..exceptions import CheckpointError
 from .report import RecordOutcome
 
 __all__ = [
+    "DEFAULT_COMPACT_DEAD_LINES",
     "CohortCheckpoint",
     "config_digest",
     "merge_checkpoints",
     "work_list_digest",
 ]
+
+#: Dead-line weight (corrupt / duplicate / superseded journal lines seen
+#: at load time) past which :meth:`CohortCheckpoint.begin` compacts the
+#: journal before appending.  High enough that a normally-killed run
+#: (at most one partial trailing line) never pays a rewrite; low enough
+#: that a journal shared or re-killed dozens of times cannot grow
+#: unboundedly dead.
+DEFAULT_COMPACT_DEAD_LINES = 64
 
 #: Journal kind tag: a non-empty ``--checkpoint`` file whose first line
 #: does not carry it is treated as foreign data and refused (never
@@ -306,6 +315,13 @@ class CohortCheckpoint:
     ----------
     path:
         Journal file location (parent directories created on demand).
+    compact_dead_lines:
+        Automatic compaction cadence: when :meth:`begin` observes at
+        least this many dead lines (tracked under :attr:`dropped` — the
+        journal's dead-line weight), it runs :meth:`compact` before
+        opening for appends, so long-lived journals shed kill debris and
+        duplicate appends without an operator remembering to.  ``None``
+        disables the cadence (manual :meth:`compact` still works).
 
     Usage (what :meth:`CohortEngine.run` does internally)::
 
@@ -322,11 +338,25 @@ class CohortCheckpoint:
     #: then reset (every task re-runs) rather than being misread.
     VERSION = 1
 
-    def __init__(self, path: str | os.PathLike) -> None:
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        compact_dead_lines: int | None = DEFAULT_COMPACT_DEAD_LINES,
+    ) -> None:
+        if compact_dead_lines is not None and compact_dead_lines < 1:
+            raise CheckpointError(
+                f"compact_dead_lines must be >= 1 or None, got "
+                f"{compact_dead_lines}"
+            )
         self.path = Path(path)
+        self.compact_dead_lines = compact_dead_lines
         self._handle: io.TextIOBase | None = None
-        #: Outcome lines dropped at load time (truncated/corrupt).
+        #: Dead-line weight of the most recent scan: outcome lines a
+        #: resume would not restore (truncated/corrupt/duplicate).
         self.dropped = 0
+        #: Automatic compactions triggered by :meth:`begin`.
+        self.auto_compactions = 0
         #: Failed appends (disk full, mount lost mid-run): the run kept
         #: going, only that outcome's durability was lost.
         self.write_errors = 0
@@ -348,8 +378,11 @@ class CohortCheckpoint:
         :class:`CheckpointError`: overwriting a user's unrelated file
         would be data loss, not recovery.  Outcome lines that a resume
         would not restore (corrupt, foreign shape, journaled failures,
-        duplicate task keys) are counted under :attr:`dropped`.
+        duplicate task keys) are counted under :attr:`dropped` — the
+        journal's current dead-line weight (reset per scan, so repeated
+        probes never inflate it).
         """
+        self.dropped = 0
         try:
             blob = self.path.read_bytes()
         except (FileNotFoundError, OSError):
@@ -436,8 +469,37 @@ class CohortCheckpoint:
         append after it; otherwise (missing/corrupt/stale) the file is
         rewritten with a fresh header.  Digest mismatches raise before
         anything is touched on disk.
+
+        When the load observes at least :attr:`compact_dead_lines` dead
+        lines, the journal is compacted first (the engine's automatic
+        cadence): the dead weight a kill or duplicate append left behind
+        is rewritten away exactly when it is next used, never while
+        *this* journal holds the file open.  Like every journal write,
+        this assumes the single-writer contract — one live run per
+        journal file (runs sharing a journal *sequentially* is fine and
+        is where duplicate appends come from; a concurrently-live
+        second writer would keep appending to the pre-compaction inode
+        after the atomic replace, losing those appends' durability).
+        The engine's own callers honor this: each run and each shard
+        journals to its own file.
         """
         done = self.load(work_digest, config_digest)
+        if (
+            self.compact_dead_lines is not None
+            and self.dropped >= self.compact_dead_lines
+        ):
+            # dropped > 0 implies a valid same-digest header (a reset or
+            # foreign journal never counts dead lines), so compaction is
+            # safe and preserves exactly what the load restored.  It is
+            # also only an optimization over derived data: if the
+            # rewrite itself fails (read-only tree, disk at quota), the
+            # run must still proceed exactly as it would have without
+            # the cadence — appends are best-effort, never the run.
+            try:
+                self.compact()
+                self.auto_compactions += 1
+            except CheckpointError:
+                pass
         header = _emit_line(
             {
                 "kind": _KIND,

@@ -64,7 +64,12 @@ from ..features.base import FeatureExtractor
 from ..ml.metrics import classification_report
 from ..signals.windowing import WindowSpec
 from .cache import FeatureCache
-from .checkpoint import CohortCheckpoint, config_digest, work_list_digest
+from .checkpoint import (
+    DEFAULT_COMPACT_DEAD_LINES,
+    CohortCheckpoint,
+    config_digest,
+    work_list_digest,
+)
 from .chunked import DEFAULT_CHUNK_S
 from .report import CohortReport, RecordOutcome
 from .store import DiskFeatureStore
@@ -297,6 +302,12 @@ class CohortEngine:
         evicted past it (``None``: unbounded).  See
         :meth:`DiskFeatureStore.gc` / the ``repro store`` CLI for
         offline lifecycle management.
+    checkpoint_compact_dead_lines:
+        Automatic journal-compaction cadence for checkpoints the engine
+        opens from a *path*: when resuming observes at least this many
+        dead journal lines, the journal is compacted before new appends
+        (``None`` disables; a :class:`CohortCheckpoint` object passed to
+        :meth:`run` keeps its own setting).
     """
 
     def __init__(
@@ -314,6 +325,7 @@ class CohortEngine:
         min_overlap: float = 0.5,
         store_dir: str | None = None,
         store_max_bytes: int | None = None,
+        checkpoint_compact_dead_lines: int | None = DEFAULT_COMPACT_DEAD_LINES,
     ) -> None:
         if executor is None:
             executor = default_executor()
@@ -327,12 +339,21 @@ class CohortEngine:
             raise EngineError(
                 f"store_max_bytes must be >= 1 or None, got {store_max_bytes}"
             )
+        if (
+            checkpoint_compact_dead_lines is not None
+            and checkpoint_compact_dead_lines < 1
+        ):
+            raise EngineError(
+                f"checkpoint_compact_dead_lines must be >= 1 or None, got "
+                f"{checkpoint_compact_dead_lines}"
+            )
         if not 0.0 < min_overlap <= 1.0:
             raise EngineError(
                 f"min_overlap must be in (0, 1], got {min_overlap}"
             )
         self.max_workers = max_workers or (os.cpu_count() or 1)
         self.executor = executor
+        self.checkpoint_compact_dead_lines = checkpoint_compact_dead_lines
         self.config = EngineConfig(
             dataset=dataset,
             extractor=extractor,
@@ -411,7 +432,10 @@ class CohortEngine:
         :class:`~repro.exceptions.CheckpointError`; a corrupt or
         stale-version journal silently resets (everything re-runs).
         Failed tasks are never journaled and therefore always retried
-        on resume.
+        on resume.  A journal opened from a path inherits the engine's
+        ``checkpoint_compact_dead_lines`` cadence: resuming through
+        enough dead lines triggers an automatic compaction before any
+        new outcome is appended.
         """
         if executor is None:
             executor = self.executor
@@ -440,7 +464,10 @@ class CohortEngine:
             journal = (
                 checkpoint
                 if isinstance(checkpoint, CohortCheckpoint)
-                else CohortCheckpoint(checkpoint)
+                else CohortCheckpoint(
+                    checkpoint,
+                    compact_dead_lines=self.checkpoint_compact_dead_lines,
+                )
             )
             completed = journal.begin(
                 work_list_digest(tasks), config_digest(self.config)

@@ -43,6 +43,13 @@ class CheckpointError(EngineError):
     degrade to recompute, per the load-or-recompute contract.)"""
 
 
+class ShardError(EngineError):
+    """Raised by the distributed shard orchestrator: invalid partitions,
+    manifest sets that do not reassemble into the planned work list,
+    overlapping shard specs, foreign shard journals at collect time, or
+    shard subprocesses that failed under the launcher's policy."""
+
+
 class ModelError(ReproError):
     """Raised by the ML substrate (tree / forest / clustering) on misuse,
     e.g. predicting before fitting."""

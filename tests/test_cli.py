@@ -647,3 +647,206 @@ class TestCheckpointMerge:
     def test_checkpoint_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["checkpoint"])
+
+
+class TestShardCLI:
+    """The ``repro shard`` group: plan / run / collect / merge /
+    orchestrate over local subprocess shards."""
+
+    SCALE = ["--patients", "8", "--duration-min", "5", "--duration-max", "6"]
+
+    def plan(self, tmp_path, capsys, shards="3"):
+        plan_dir = tmp_path / "plan"
+        code = main(
+            ["shard", "plan", "--out-dir", str(plan_dir),
+             "--shards", shards, *self.SCALE]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        return plan_dir, out
+
+    def test_plan_writes_manifests(self, tmp_path, capsys):
+        plan_dir, out = self.plan(tmp_path, capsys)
+        assert "planned 3 shard(s) (contiguous) over 4 task(s)" in out
+        assert "work digest" in out
+        assert sorted(p.name for p in plan_dir.glob("shard-*.json")) == [
+            "shard-000.json", "shard-001.json", "shard-002.json",
+        ]
+
+    def test_plan_refuses_existing_plan(self, tmp_path, capsys):
+        plan_dir, _ = self.plan(tmp_path, capsys)
+        code = main(
+            ["shard", "plan", "--out-dir", str(plan_dir),
+             "--shards", "2", *self.SCALE]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "already contains a shard plan" in err
+
+    def test_plan_validates_flags(self, tmp_path, capsys):
+        code = main(
+            ["shard", "plan", "--out-dir", str(tmp_path / "p"),
+             "--shards", "0", *self.SCALE]
+        )
+        assert code == 2
+        assert "n_shards" in capsys.readouterr().err
+        code = main(
+            ["shard", "plan", "--out-dir", str(tmp_path / "p"),
+             "--shards", "2", "--patients", "banana"]
+        )
+        assert code == 2
+
+
+    def test_plan_unwritable_out_dir_errors_cleanly(self, tmp_path, capsys):
+        # --out-dir pointing at a *file*: clean error, never a traceback.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not a directory\n")
+        code = main(
+            ["shard", "plan", "--out-dir", str(blocker),
+             "--shards", "2", *self.SCALE]
+        )
+        assert code == 2
+        assert "cannot write shard manifest" in capsys.readouterr().err
+
+    def test_plan_unknown_patient_errors_cleanly(self, tmp_path, capsys):
+        code = main(
+            ["shard", "plan", "--out-dir", str(tmp_path / "p"),
+             "--shards", "2", "--patients", "99"]
+        )
+        assert code == 2
+        assert "unknown patient" in capsys.readouterr().err
+
+
+    def test_run_collect_merge_report_parity(self, tmp_path, capsys):
+        """The full CLI loop, shard by shard, against the single-node
+        cohort report — byte-identical."""
+        single = tmp_path / "single.json"
+        code = main(
+            ["cohort", *self.SCALE, "--executor", "serial",
+             "--json", str(single)]
+        )
+        assert code == 0
+        plan_dir, _ = self.plan(tmp_path, capsys)
+
+        # Incomplete plan: collect exits 1, merge refuses.
+        assert main(["shard", "collect", str(plan_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "0/4" in out and "not started" in out
+        merged = tmp_path / "merged.ckpt"
+        assert main(
+            ["shard", "merge", str(plan_dir), "--out", str(merged)]
+        ) == 2
+        assert "incomplete" in capsys.readouterr().err
+
+        for i in range(3):
+            code = main(
+                ["shard", "run", str(plan_dir / f"shard-00{i}.json"),
+                 "--executor", "serial"]
+            )
+            assert code == 0
+        out = capsys.readouterr().out
+        assert "record(s) complete" in out
+
+        assert main(["shard", "collect", str(plan_dir)]) == 0
+        assert "(complete)" in capsys.readouterr().out
+
+        report_json = tmp_path / "sharded.json"
+        code = main(
+            ["shard", "merge", str(plan_dir), "--out", str(merged),
+             "--report", str(report_json)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "merged 3 shard journal(s)" in out
+        assert "cohort: 4 records" in out
+        assert report_json.read_bytes() == single.read_bytes()
+
+    def test_rerun_resumes_completed_shard(self, tmp_path, capsys):
+        plan_dir, _ = self.plan(tmp_path, capsys)
+        manifest = plan_dir / "shard-001.json"
+        assert main(["shard", "run", str(manifest),
+                     "--executor", "serial"]) == 0
+        capsys.readouterr()
+        assert main(["shard", "run", str(manifest),
+                     "--executor", "serial"]) == 0
+        out = capsys.readouterr().out
+        assert "(1 restored, 0 processed" in out
+
+    def test_run_rejects_bad_chunk_and_missing_manifest(
+        self, tmp_path, capsys
+    ):
+        plan_dir, _ = self.plan(tmp_path, capsys)
+        code = main(
+            ["shard", "run", str(plan_dir / "shard-000.json"),
+             "--chunk-s", "0"]
+        )
+        assert code == 2
+        assert "--chunk-s" in capsys.readouterr().err
+        code = main(["shard", "run", str(plan_dir / "absent.json")])
+        assert code == 2
+        assert "manifest" in capsys.readouterr().err
+
+    def test_collect_reports_foreign_journal(self, tmp_path, capsys):
+        from repro.engine import CohortCheckpoint
+
+        plan_dir, _ = self.plan(tmp_path, capsys)
+        foreign = CohortCheckpoint(plan_dir / "shard-000.ckpt")
+        foreign.begin("f" * 32, "f" * 32)
+        foreign.close()
+        code = main(["shard", "collect", str(plan_dir)])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "shard 0" in err
+
+    def test_orchestrate_end_to_end_matches_cohort(self, tmp_path, capsys):
+        single = tmp_path / "single.json"
+        assert main(
+            ["cohort", *self.SCALE, "--executor", "serial",
+             "--json", str(single)]
+        ) == 0
+        capsys.readouterr()
+        sharded = tmp_path / "sharded.json"
+        plan_dir = tmp_path / "plan"
+        code = main(
+            ["shard", "orchestrate", "--out-dir", str(plan_dir),
+             "--shards", "3", *self.SCALE,
+             "--executor", "serial", "--jobs", "2",
+             "--json", str(sharded)]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "orchestrated 3 shard(s)" in out
+        assert "cohort: 4 records" in out
+        assert sharded.read_bytes() == single.read_bytes()
+        # A second orchestrate reuses the plan and launches nothing.
+        code = main(
+            ["shard", "orchestrate", "--out-dir", str(plan_dir),
+             "--shards", "3", *self.SCALE, "--executor", "serial"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "launched 0" in out
+
+    def test_orchestrate_refuses_mismatched_plan(self, tmp_path, capsys):
+        plan_dir, _ = self.plan(tmp_path, capsys)
+        code = main(
+            ["shard", "orchestrate", "--out-dir", str(plan_dir),
+             "--shards", "3", "--patients", "9",
+             "--duration-min", "5", "--duration-max", "6",
+             "--executor", "serial"]
+        )
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "different" in err
+
+    def test_orchestrate_validates_jobs(self, tmp_path, capsys):
+        code = main(
+            ["shard", "orchestrate", "--out-dir", str(tmp_path / "p"),
+             "--shards", "2", *self.SCALE, "--jobs", "0"]
+        )
+        assert code == 2
+        assert "--jobs" in capsys.readouterr().err
+
+    def test_shard_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["shard"])

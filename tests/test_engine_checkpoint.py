@@ -538,6 +538,114 @@ class TestCompaction:
         assert foreign.read_text() == '{"line": 1}\n'
 
 
+class TestAutoCompactionCadence:
+    """The automatic cadence: ``begin()`` compacts the journal when its
+    dead-line weight crosses ``compact_dead_lines`` — long-lived
+    journals shed kill debris without an operator running ``--compact``.
+    """
+
+    def dirty_journal(self, dataset, tasks, tmp_path, dead=4):
+        path = tmp_path / "run.ckpt"
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=path)
+        duplicate = path.read_text().splitlines(keepends=True)[1]
+        with open(path, "a") as fh:
+            fh.write(duplicate * dead)
+        return path
+
+    def test_begin_compacts_past_the_threshold(
+        self, dataset, tasks, tmp_path, baseline
+    ):
+        path = self.dirty_journal(dataset, tasks, tmp_path, dead=4)
+        journal = CohortCheckpoint(path, compact_dead_lines=4)
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=journal
+        )
+        assert journal.auto_compactions == 1
+        assert len(path.read_text().splitlines()) == 1 + len(tasks)
+        assert report.to_json() == baseline
+
+    def test_below_threshold_journal_untouched(
+        self, dataset, tasks, tmp_path
+    ):
+        path = self.dirty_journal(dataset, tasks, tmp_path, dead=3)
+        before = path.read_bytes()
+        journal = CohortCheckpoint(path, compact_dead_lines=4)
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=journal)
+        assert journal.auto_compactions == 0
+        assert path.read_bytes() == before  # fully restored: no appends
+
+    def test_none_disables_the_cadence(self, dataset, tasks, tmp_path):
+        path = self.dirty_journal(dataset, tasks, tmp_path, dead=10)
+        journal = CohortCheckpoint(path, compact_dead_lines=None)
+        CohortEngine(dataset, executor="serial").run(tasks, checkpoint=journal)
+        assert journal.auto_compactions == 0
+        assert journal.dropped == 10
+
+    def test_engine_threads_the_cadence_to_path_checkpoints(
+        self, dataset, tasks, tmp_path, baseline
+    ):
+        """The engine integration: a checkpoint named by *path* inherits
+        the engine's ``checkpoint_compact_dead_lines`` and compacts on
+        resume."""
+        path = self.dirty_journal(dataset, tasks, tmp_path, dead=5)
+        engine = CohortEngine(
+            dataset, executor="serial", checkpoint_compact_dead_lines=5
+        )
+        report = engine.run(tasks, checkpoint=path)
+        assert len(path.read_text().splitlines()) == 1 + len(tasks)
+        assert report.to_json() == baseline
+
+    def test_default_cadence_ignores_normal_kill_debris(
+        self, dataset, tasks, tmp_path, monkeypatch
+    ):
+        """An interrupted run leaves at most one partial line: far below
+        the default threshold, so ordinary resumes never pay a rewrite."""
+        path = tmp_path / "run.ckpt"
+        interrupt_after(monkeypatch, 2)
+        with pytest.raises(KeyboardInterrupt):
+            CohortEngine(dataset, executor="serial").run(
+                tasks, checkpoint=path
+            )
+        journal = CohortCheckpoint(path)
+        journal.begin(work_list_digest(tasks), config_digest(
+            CohortEngine(dataset, executor="serial").config
+        ))
+        journal.close()
+        assert journal.auto_compactions == 0
+
+    def test_failed_compaction_never_blocks_the_run(
+        self, dataset, tasks, tmp_path, baseline, monkeypatch
+    ):
+        """Compaction is an optimization over derived data: if the
+        rewrite fails (read-only tree, quota), the resume proceeds
+        exactly as it would have without the cadence."""
+        path = self.dirty_journal(dataset, tasks, tmp_path, dead=5)
+
+        def failing_compact(self):
+            raise CheckpointError("disk at quota")
+
+        monkeypatch.setattr(CohortCheckpoint, "compact", failing_compact)
+        journal = CohortCheckpoint(path, compact_dead_lines=2)
+        report = CohortEngine(dataset, executor="serial").run(
+            tasks, checkpoint=journal
+        )
+        assert journal.auto_compactions == 0
+        assert report.to_json() == baseline
+
+    def test_dead_weight_resets_per_scan(self, dataset, tasks, tmp_path):
+        path = self.dirty_journal(dataset, tasks, tmp_path, dead=2)
+        journal = CohortCheckpoint(path, compact_dead_lines=None)
+        journal.outcome_count()
+        journal.outcome_count()
+        assert journal.dropped == 2  # repeated probes never inflate it
+
+    def test_invalid_threshold_rejected(self, tmp_path, dataset):
+        with pytest.raises(CheckpointError, match="compact_dead_lines"):
+            CohortCheckpoint(tmp_path / "x.ckpt", compact_dead_lines=0)
+        with pytest.raises(EngineError, match="compact_dead_lines"):
+            CohortEngine(dataset, checkpoint_compact_dead_lines=0)
+
+
 class TestMergeCheckpoints:
     """``merge_checkpoints``: shard journals of one work list combine
     into a single journal the full run resumes from."""
