@@ -1,0 +1,147 @@
+"""Kernel registry benchmark: batched backends vs the looped reference.
+
+Times every registered feature kernel on realistic window batches
+(4-second, 256 Hz windows and their DWT subband lengths) under each
+backend, plus the end-to-end ``Paper10FeatureExtractor`` batch path that
+cohort extraction actually runs.  The end-to-end vectorized-vs-reference
+ratio is asserted (>= 3x): it compares two backends inside one process,
+so it stays meaningful on shared CI runners where absolute timings do
+not.
+
+``REPRO_BENCH_QUICK=1`` shrinks the batch for the CI smoke leg.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from conftest import print_table, save_results
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.kernels import (
+    COMPILED_STATUS,
+    available_backends,
+    get_kernel,
+    kernel_contract,
+    registered_kernels,
+)
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "").strip() not in ("", "0")
+
+#: Windows per batch — one window per second of record, so this is
+#: seconds of cohort signal featurized per measurement.
+N_WINDOWS = 120 if QUICK else 600
+#: 4 s at 256 Hz: the paper's window geometry.
+WINDOW_SAMPLES = 1024
+#: Entropy kernels run on DWT subband series, far shorter than the raw
+#: window; level 6/7 details of a 1024-sample window have ~16-32 coeffs,
+#: level 3 has ~128.  Benchmark the mid-length case.
+SUBBAND_SAMPLES = 64
+
+#: The asserted floor for the end-to-end vectorized/reference ratio.
+SPEEDUP_FLOOR = 3.0
+
+REPEATS = 2 if QUICK else 5
+
+
+def _best_of(fn, *args, **kwargs) -> float:
+    fn(*args, **kwargs)  # warm-up: plan caches, allocator
+    best = float("inf")
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _kernel_input(name: str, rng: np.random.Generator) -> np.ndarray:
+    n = (
+        WINDOW_SAMPLES
+        if name in ("dwt_details", "band_powers")
+        else SUBBAND_SAMPLES
+    )
+    return rng.standard_normal((N_WINDOWS, n))
+
+
+def _kernel_params(name: str) -> dict:
+    # The first registered contract parameter set is always one the
+    # extractors actually use.
+    return dict(kernel_contract(name).params[0])
+
+
+def test_kernel_backends_speed():
+    rng = np.random.default_rng(42)
+    rows = []
+    payload: dict = {
+        "quick": QUICK,
+        "n_windows": N_WINDOWS,
+        "compiled_status": COMPILED_STATUS,
+        "kernels": {},
+    }
+
+    for name in sorted(registered_kernels()):
+        windows = _kernel_input(name, rng)
+        params = _kernel_params(name)
+        timings = {}
+        for backend in available_backends(name):
+            impl = get_kernel(name, prefer=backend)
+            timings[backend] = _best_of(impl, windows, **params)
+        ref = timings["reference"]
+        rows.append(
+            [
+                name,
+                f"{ref * 1e3:.1f}",
+                f"{timings['vectorized'] * 1e3:.1f}",
+                f"{ref / timings['vectorized']:.1f}x",
+                (
+                    f"{ref / timings['compiled']:.1f}x"
+                    if "compiled" in timings
+                    else "-"
+                ),
+            ]
+        )
+        payload["kernels"][name] = {
+            backend: t for backend, t in timings.items()
+        }
+
+    # End-to-end: the full 10-feature batch under each backend — the
+    # path every cohort, streaming and shard extraction takes.
+    extractor = Paper10FeatureExtractor()
+    batch = rng.standard_normal((N_WINDOWS, 2, WINDOW_SAMPLES))
+    e2e = {}
+    for backend in ("reference", "vectorized"):
+        os.environ["REPRO_KERNEL_BACKEND"] = backend
+        try:
+            e2e[backend] = _best_of(extractor.extract_batch, batch, 256.0)
+        finally:
+            os.environ.pop("REPRO_KERNEL_BACKEND", None)
+    speedup = e2e["reference"] / e2e["vectorized"]
+    rows.append(
+        [
+            "paper10 end-to-end",
+            f"{e2e['reference'] * 1e3:.1f}",
+            f"{e2e['vectorized'] * 1e3:.1f}",
+            f"{speedup:.1f}x",
+            "-",
+        ]
+    )
+    payload["end_to_end"] = {**e2e, "speedup": speedup}
+
+    print_table(
+        f"Feature kernels: {N_WINDOWS} windows"
+        + (" (quick)" if QUICK else ""),
+        ["kernel", "ref ms", "vec ms", "vec speedup", "compiled speedup"],
+        rows,
+    )
+    save_results("bench_kernels" + ("_quick" if QUICK else ""), payload)
+
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"vectorized end-to-end extraction only {speedup:.2f}x faster than "
+        f"reference (floor {SPEEDUP_FLOOR:.0f}x)"
+    )
+
+
+if __name__ == "__main__":
+    test_kernel_backends_speed()

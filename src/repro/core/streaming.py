@@ -75,16 +75,27 @@ class StreamingFeatureExtractor:
             )
         self._buffer = np.concatenate([self._buffer, chunk], axis=1)
 
-        rows = []
-        while True:
-            start_abs = self._next_window * self._step
-            stop_abs = start_abs + self._win
-            if stop_abs > self._consumed + self._buffer.shape[1]:
-                break
-            start = start_abs - self._consumed
-            window = self._buffer[:, start : start + self._win]
-            rows.append(self.extractor.extract_window(window, self.fs))
-            self._next_window += 1
+        # Every window whose last sample arrived in this push is ready;
+        # featurize them all in one batched call (a strided view over the
+        # buffer, no window copies) so the streaming path hits the same
+        # batched kernels as whole-record extraction.
+        avail = self._consumed + self._buffer.shape[1]
+        if avail < self._win:
+            n_ready = 0
+        else:
+            n_ready = (avail - self._win) // self._step + 1 - self._next_window
+        if n_ready > 0:
+            start0 = self._next_window * self._step - self._consumed
+            view = np.lib.stride_tricks.sliding_window_view(
+                self._buffer, self._win, axis=1
+            )
+            tensor = view[
+                :, start0 : start0 + (n_ready - 1) * self._step + 1 : self._step
+            ].transpose(1, 0, 2)
+            rows = self.extractor.extract_batch(tensor, self.fs)
+            self._next_window += n_ready
+        else:
+            rows = np.empty((0, self.extractor.n_features))
 
         # Drop samples no future window needs.
         keep_from_abs = self._next_window * self._step
@@ -93,9 +104,7 @@ class StreamingFeatureExtractor:
             self._buffer = self._buffer[:, drop:]
             self._consumed = keep_from_abs
 
-        if not rows:
-            return np.empty((0, self.extractor.n_features))
-        return np.vstack(rows)
+        return rows
 
     def finalize(self) -> int:
         """Declare the stream finished; returns the total windows emitted.

@@ -17,7 +17,24 @@ import numpy as np
 
 from ..exceptions import SignalError
 
-__all__ = ["ordinal_patterns", "permutation_entropy"]
+__all__ = ["lehmer_codes", "ordinal_patterns", "permutation_entropy"]
+
+
+def lehmer_codes(ranks: np.ndarray) -> np.ndarray:
+    """Factorial-number-system rank of each permutation (row) of ``ranks``.
+
+    ``ranks`` holds one permutation of ``0..order-1`` per row; the result is
+    the lexicographic rank in ``[0, order!)``.  Shared by the per-window
+    path below and the batched kernel backends (which reshape their
+    ``(n_windows, n_vectors, order)`` rank tensors to rows), so both encode
+    ordinal patterns with the exact same integer arithmetic.
+    """
+    n_vec, order = ranks.shape
+    codes = np.zeros(n_vec, dtype=np.int64)
+    for j in range(order - 1):
+        smaller_to_right = np.sum(ranks[:, j : j + 1] > ranks[:, j + 1 :], axis=1)
+        codes = codes * (order - j) + smaller_to_right
+    return codes
 
 
 def ordinal_patterns(x: np.ndarray, order: int, delay: int = 1) -> np.ndarray:
@@ -43,11 +60,7 @@ def ordinal_patterns(x: np.ndarray, order: int, delay: int = 1) -> np.ndarray:
     emb = x[idx]
     ranks = np.argsort(np.argsort(emb, axis=1, kind="stable"), axis=1, kind="stable")
     # Encode each permutation by its Lehmer code (factorial-base rank).
-    codes = np.zeros(n_vec, dtype=np.int64)
-    for j in range(order - 1):
-        smaller_to_right = np.sum(ranks[:, j : j + 1] > ranks[:, j + 1 :], axis=1)
-        codes = codes * (order - j) + smaller_to_right
-    return codes
+    return lehmer_codes(ranks)
 
 
 def permutation_entropy(

@@ -15,21 +15,40 @@ import numpy as np
 
 from ..exceptions import SignalError
 
-__all__ = ["sample_entropy", "approximate_entropy"]
+__all__ = ["embedding_indices", "sample_entropy", "approximate_entropy"]
 
 
-def _count_matches(x: np.ndarray, m: int, r: float) -> int:
-    """Number of ordered pairs (i != j) of length-``m`` templates with
+def embedding_indices(n: int, m: int, delay: int = 1) -> np.ndarray:
+    """Index grid of every length-``m`` delay-vector of an ``n``-sample series.
+
+    Row ``i`` holds the indices ``i, i + delay, ..., i + (m - 1) * delay``;
+    ``x[embedding_indices(x.size, m)]`` is the embedding matrix the template
+    matchers below and the batched kernel backends both build from, so the
+    reference and vectorized paths share one embedding construction.
+    """
+    n_vec = n - (m - 1) * delay
+    if n_vec < 1:
+        return np.empty((0, m), dtype=np.intp)
+    return (
+        np.arange(n_vec, dtype=np.intp)[:, None]
+        + delay * np.arange(m, dtype=np.intp)[None, :]
+    )
+
+
+def _embed(x: np.ndarray, m: int) -> np.ndarray:
+    """Embedding matrix of all length-``m`` templates of ``x``."""
+    return x[embedding_indices(x.size, m)]
+
+
+def _count_matches(emb: np.ndarray, r: float) -> int:
+    """Number of ordered pairs (i != j) of templates (rows of ``emb``) with
     Chebyshev distance <= r."""
-    n = x.size
-    n_templ = n - m + 1
+    n_templ = emb.shape[0]
     if n_templ < 2:
         return 0
-    # Embedding matrix of all templates, compared pairwise via broadcasting.
-    # Template counts here are tiny (n <= a few thousand at most in this
-    # code base, <= ~1000 in practice), so the O(n_templ^2) memory is fine.
-    idx = np.arange(n_templ)[:, None] + np.arange(m)[None, :]
-    emb = x[idx]
+    # All templates compared pairwise via broadcasting.  Template counts
+    # here are tiny (n <= a few thousand at most in this code base,
+    # <= ~1000 in practice), so the O(n_templ^2) memory is fine.
     dist = np.max(np.abs(emb[:, None, :] - emb[None, :, :]), axis=2)
     matches = int((dist <= r).sum()) - n_templ  # remove self-matches
     return matches
@@ -77,8 +96,8 @@ def sample_entropy(
         if sd == 0.0:
             return 0.0
         r = k * sd
-    b = _count_matches(x, m, r)
-    a = _count_matches(x, m + 1, r)
+    b = _count_matches(_embed(x, m), r)
+    a = _count_matches(_embed(x, m + 1), r)
     if b == 0:
         # No matches at length m: cap at the maximum resolvable entropy for
         # this series length (Richman & Moorman's conventional bound).
@@ -117,9 +136,8 @@ def approximate_entropy(
         r = k * sd
 
     def phi(mm: int) -> float:
-        n_templ = n - mm + 1
-        idx = np.arange(n_templ)[:, None] + np.arange(mm)[None, :]
-        emb = x[idx]
+        emb = _embed(x, mm)
+        n_templ = emb.shape[0]
         dist = np.max(np.abs(emb[:, None, :] - emb[None, :, :]), axis=2)
         # Self-matches included: every row count is >= 1, log is safe.
         counts = (dist <= r).sum(axis=1) / n_templ

@@ -19,6 +19,13 @@ class FeatureError(ReproError):
     """Raised when feature extraction receives invalid configuration or data."""
 
 
+class KernelError(FeatureError):
+    """Raised by the feature-kernel registry: unknown kernel or backend
+    names, a backend requested via ``REPRO_KERNEL_BACKEND`` that is not
+    registered, or a non-reference implementation that fails its
+    differential parity contract at registration time."""
+
+
 class LabelingError(ReproError):
     """Raised when the a-posteriori labeling algorithm cannot run.
 

@@ -46,6 +46,41 @@ class FeatureExtractor(ABC):
             Sampling frequency in Hz.
         """
 
+    def extract_batch(self, windows: np.ndarray, fs: float) -> np.ndarray:
+        """Compute the feature matrix of a batch of windows.
+
+        ``windows`` has shape (n_windows, n_channels, window_samples) —
+        typically a zero-copy strided view of the record.  The default
+        implementation loops :meth:`extract_window`, so every extractor
+        supports batching with unchanged per-window semantics; extractors
+        with registered feature kernels (e.g.
+        :class:`~repro.features.paper10.Paper10FeatureExtractor`)
+        override this to process all windows at once.  Batch, streaming
+        and engine extraction all funnel through this method, so an
+        override defines the behavior of *every* path.
+        """
+        windows = self._check_batch(windows)
+        out = np.empty((windows.shape[0], self.n_features))
+        for i in range(windows.shape[0]):
+            out[i] = self.extract_window(windows[i], fs)
+        return out
+
+    def _check_batch(self, windows: np.ndarray) -> np.ndarray:
+        windows = np.asarray(windows, dtype=float)
+        if windows.ndim != 3:
+            raise FeatureError(
+                "batch must be (windows, channels, samples), got shape "
+                f"{windows.shape}"
+            )
+        if windows.shape[1] < len(self.channel_names):
+            raise FeatureError(
+                f"{type(self).__name__} needs {len(self.channel_names)} "
+                f"channels, windows have {windows.shape[1]}"
+            )
+        if not np.all(np.isfinite(windows)):
+            raise FeatureError("window contains NaN or infinite samples")
+        return windows
+
     def _check_window(self, window: np.ndarray) -> np.ndarray:
         window = np.asarray(window, dtype=float)
         if window.ndim != 2:

@@ -13,10 +13,26 @@ import numpy as np
 
 from ..data.records import EEGRecord
 from ..exceptions import FeatureError
-from ..signals.windowing import WindowSpec, sliding_windows
+from ..signals.windowing import WindowSpec
 from .base import FeatureExtractor, FeatureMatrix
 
-__all__ = ["extract_features", "extract_labeled_features"]
+__all__ = ["extract_features", "extract_labeled_features", "window_tensor"]
+
+
+def window_tensor(
+    data: np.ndarray, fs: float, spec: WindowSpec, n_win: int
+) -> np.ndarray:
+    """Zero-copy (n_windows, n_channels, window_samples) view of ``data``.
+
+    Window ``i`` is exactly ``data[:, i*step : i*step + length]`` — the
+    geometry of :func:`repro.signals.windowing.sliding_windows` — but as
+    a strided view, so batched extractors featurize every window without
+    materializing the 75%-overlapped copies.
+    """
+    win = spec.length_samples(fs)
+    step = spec.step_samples(fs)
+    view = np.lib.stride_tricks.sliding_window_view(data, win, axis=1)
+    return view[:, : (n_win - 1) * step + 1 : step].transpose(1, 0, 2)
 
 
 def extract_features(
@@ -52,9 +68,9 @@ def extract_features(
             f"record of {record.duration_s:.1f}s shorter than one "
             f"{spec.length_s:.1f}s window"
         )
-    rows = np.empty((n_win, extractor.n_features))
-    for i, start, stop in sliding_windows(record.n_samples, record.fs, spec):
-        rows[i] = extractor.extract_window(record.data[:, start:stop], record.fs)
+    rows = extractor.extract_batch(
+        window_tensor(record.data, record.fs, spec, n_win), record.fs
+    )
     return FeatureMatrix(
         values=rows,
         feature_names=extractor.feature_names,

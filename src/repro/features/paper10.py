@@ -99,3 +99,56 @@ class Paper10FeatureExtractor(FeatureExtractor):
                 sample_entropy(details[6], m=2, k=0.35),
             ]
         )
+
+    def extract_batch(self, windows: np.ndarray, fs: float) -> np.ndarray:
+        """All windows at once, through the batched feature kernels.
+
+        Resolves each feature's kernel from :mod:`repro.kernels` (honoring
+        ``REPRO_KERNEL_BACKEND``), so batch, streaming and engine
+        extraction share one implementation.  Every registered backend is
+        parity-gated against the looped :meth:`extract_window` path, and
+        the shipped ``vectorized`` backend reproduces it bit-for-bit.
+        """
+        from ..kernels import get_kernel
+
+        windows = self._check_batch(windows)
+        if windows.shape[0] == 0:
+            return np.empty((0, self.n_features))
+        f7t3 = windows[:, 0]
+        f8t4 = windows[:, 1]
+
+        details = get_kernel("dwt_details")(f8t4, level=self._dwt_level)
+
+        # One PSD per channel feeds all band powers, as in extract_window.
+        band_powers = get_kernel("band_powers")
+        nyquist = (0.0, fs / 2.0)
+        bp0 = band_powers(f7t3, fs=fs, bands=("theta", nyquist, "delta"))
+        bp1 = band_powers(f8t4, fs=fs, bands=("theta", nyquist))
+        theta0, total0, delta0 = bp0[:, 0], bp0[:, 1], bp0[:, 2]
+        theta1, total1 = bp1[:, 0], bp1[:, 1]
+        # Guarded relative powers: same division (or 0.0) per window as
+        # the scalar path, with the dummy divisor never reaching output.
+        rel0 = np.where(
+            total0 > 0, theta0 / np.where(total0 > 0, total0, 1.0), 0.0
+        )
+        rel1 = np.where(
+            total1 > 0, theta1 / np.where(total1 > 0, total1, 1.0), 0.0
+        )
+
+        perm = get_kernel("permutation_entropy")
+        return np.column_stack(
+            [
+                theta0,
+                rel0,
+                delta0,
+                rel1,
+                perm(details[7], order=5),
+                perm(details[7], order=7),
+                perm(details[6], order=7),
+                get_kernel("renyi_entropy")(
+                    details[3], alpha=self._renyi_alpha
+                ),
+                get_kernel("sample_entropy")(details[6], m=2, k=0.20),
+                get_kernel("sample_entropy")(details[6], m=2, k=0.35),
+            ]
+        )

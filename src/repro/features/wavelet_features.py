@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..exceptions import FeatureError
+from ..exceptions import FeatureError, SignalError
 from ..signals.wavelet import wavedec
 
 __all__ = ["dwt_details", "subband_energy", "subband_stats"]
@@ -28,7 +28,14 @@ def dwt_details(
     """
     if level < 1:
         raise FeatureError(f"level must be >= 1, got {level}")
-    coeffs = wavedec(np.asarray(x, dtype=float), level, wavelet)
+    try:
+        coeffs = wavedec(np.asarray(x, dtype=float), level, wavelet)
+    except SignalError as exc:
+        # A window too short (or otherwise unusable) for the requested
+        # decomposition depth is a *feature* failure from the extractor's
+        # point of view: batch, streaming and kernel paths must all raise
+        # FeatureError for it, not leak the signal-layer type.
+        raise FeatureError(str(exc)) from exc
     # wavedec layout: [a_L, d_L, d_{L-1}, ..., d_1]
     details = {}
     for i, det in enumerate(coeffs[1:]):

@@ -1,0 +1,148 @@
+"""Optional compiled backend: numba-jitted template-match counting.
+
+The O(n_templates^2) Chebyshev match counting inside sample/approximate
+entropy is the one kernel loop where a JIT beats numpy broadcasting
+(no (c, t, t) scratch tensors, early exit per tap).  numba is **not** a
+dependency of this package: when it is importable, the compiled
+counters register behind the same parity gate as every other backend;
+when it is not, :func:`register_compiled_kernels` records why and the
+registry transparently falls back (``compiled`` resolves per-kernel to
+``vectorized``).
+
+Only the integer counting is compiled — tolerance setup and entropy
+finalization are shared with :mod:`repro.kernels.vectorized`, so the
+compiled path inherits its bitwise-parity argument: counts are exact
+integers, and everything after them is the identical float code.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .plans import embedding_plan
+from .reference import _check_windows
+from .registry import register_kernel
+from .vectorized import _prepare_tolerance, _sampen_value
+
+__all__ = ["COMPILED_STATUS", "register_compiled_kernels"]
+
+#: Human-readable outcome of the last :func:`register_compiled_kernels`
+#: call — "registered", or the reason the backend is unavailable.
+COMPILED_STATUS = "not attempted"
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+except ImportError:  # pragma: no cover - the container path
+    numba = None
+
+
+def _build_counters():  # pragma: no cover - requires numba
+    """Compile and return (pair_counter, template_counter)."""
+
+    @numba.njit(cache=True)
+    def pair_counts(emb, r_rows):
+        n_windows, n_vec, m = emb.shape
+        out = np.zeros(n_windows, dtype=np.int64)
+        for w in range(n_windows):
+            r = r_rows[w]
+            c = 0
+            for i in range(n_vec):
+                for j in range(i + 1, n_vec):
+                    d = 0.0
+                    for t in range(m):
+                        a = abs(emb[w, i, t] - emb[w, j, t])
+                        if a > d:
+                            d = a
+                        if d > r:
+                            break
+                    if d <= r:
+                        c += 1
+            out[w] = 2 * c  # ordered pairs, like the reference counter
+        return out
+
+    @numba.njit(cache=True)
+    def template_counts(emb, r_rows):
+        n_windows, n_vec, m = emb.shape
+        out = np.zeros((n_windows, n_vec), dtype=np.int64)
+        for w in range(n_windows):
+            r = r_rows[w]
+            for i in range(n_vec):
+                out[w, i] = 1  # self-match
+            for i in range(n_vec):
+                for j in range(i + 1, n_vec):
+                    d = 0.0
+                    for t in range(m):
+                        a = abs(emb[w, i, t] - emb[w, j, t])
+                        if a > d:
+                            d = a
+                        if d > r:
+                            break
+                    if d <= r:
+                        out[w, i] += 1
+                        out[w, j] += 1
+        return out
+
+    return pair_counts, template_counts
+
+
+def _make_kernels(pair_counts, template_counts):  # pragma: no cover
+    def sample_entropy_compiled(windows, m=2, k=0.2, r=None):
+        windows = _check_windows(windows)
+        out, live, r_rows = _prepare_tolerance(windows, m, k, r)
+        if live.size == 0:
+            return out
+        n = windows.shape[1]
+        sub = windows[live]
+        emb_m = np.ascontiguousarray(sub[:, embedding_plan(n, m)])
+        emb_m1 = np.ascontiguousarray(sub[:, embedding_plan(n, m + 1)])
+        b = pair_counts(emb_m, r_rows[live])
+        a = pair_counts(emb_m1, r_rows[live])
+        out[live] = [
+            _sampen_value(int(bi), int(ai), n, m) for bi, ai in zip(b, a)
+        ]
+        return out
+
+    def approximate_entropy_compiled(windows, m=2, k=0.2, r=None):
+        windows = _check_windows(windows)
+        out, live, r_rows = _prepare_tolerance(windows, m, k, r)
+        if live.size == 0:
+            return out
+        n = windows.shape[1]
+        sub = windows[live]
+        phis = []
+        for mm in (m, m + 1):
+            idx = embedding_plan(n, mm)
+            emb = np.ascontiguousarray(sub[:, idx])
+            counts = template_counts(emb, r_rows[live])
+            fracs = counts / idx.shape[0]
+            phis.append(np.mean(np.log(fracs), axis=1))
+        out[live] = phis[0] - phis[1]
+        return out
+
+    return sample_entropy_compiled, approximate_entropy_compiled
+
+
+def register_compiled_kernels() -> bool:
+    """Register the numba counters if possible; never raises.
+
+    Returns True when the compiled backend registered (after passing the
+    differential parity gate).  On any failure — numba missing, JIT
+    compilation error, or a parity violation — the reason lands in
+    :data:`COMPILED_STATUS` and the registry is left without a
+    ``compiled`` entry, which :func:`repro.kernels.get_kernel` resolves
+    by falling back to ``vectorized``.
+    """
+    global COMPILED_STATUS
+    if numba is None:
+        COMPILED_STATUS = "numba not importable; using vectorized fallback"
+        return False
+    try:  # pragma: no cover - requires numba
+        pair_counts, template_counts = _build_counters()
+        sample_impl, approx_impl = _make_kernels(pair_counts, template_counts)
+        register_kernel("sample_entropy", "compiled", sample_impl)
+        register_kernel("approximate_entropy", "compiled", approx_impl)
+    except Exception as exc:  # pragma: no cover - defensive: never break import
+        COMPILED_STATUS = f"compiled backend disabled: {exc}"
+        return False
+    COMPILED_STATUS = "registered"  # pragma: no cover
+    return True  # pragma: no cover

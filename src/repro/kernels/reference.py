@@ -1,0 +1,136 @@
+"""Reference backend: the per-window scalar functions, looped.
+
+Each kernel here simply maps the corresponding scalar implementation
+(:mod:`repro.entropy`, :mod:`repro.features.wavelet_features`,
+:mod:`repro.signals.spectral`) over the window rows.  This is the
+ground truth every other backend is differentially gated against at
+registration time, and the backend ``REPRO_KERNEL_BACKEND=reference``
+selects — byte-for-byte the pre-registry behavior of the extractors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..entropy.permutation import permutation_entropy
+from ..entropy.renyi import renyi_entropy
+from ..entropy.sample import approximate_entropy, sample_entropy
+from ..entropy.shannon import shannon_entropy
+from ..exceptions import FeatureError
+from ..features.wavelet_features import dwt_details
+from ..signals.spectral import band_power_from_psd, welch_psd
+
+__all__ = [
+    "sample_entropy_reference",
+    "approximate_entropy_reference",
+    "permutation_entropy_reference",
+    "renyi_entropy_reference",
+    "shannon_entropy_reference",
+    "dwt_details_reference",
+    "band_powers_reference",
+]
+
+
+def _check_windows(windows: np.ndarray) -> np.ndarray:
+    # Contiguity matters for parity, not just speed: numpy reduces
+    # strided rows through a buffered path whose rounding differs from
+    # the contiguous 1-D sums, so every backend normalizes its input to
+    # one C-contiguous float64 layout before any arithmetic.
+    windows = np.ascontiguousarray(windows, dtype=float)
+    if windows.ndim != 2:
+        raise FeatureError(
+            f"kernels take (n_windows, n_samples) batches, got {windows.shape}"
+        )
+    return windows
+
+
+def sample_entropy_reference(
+    windows: np.ndarray, m: int = 2, k: float = 0.2, r: float | None = None
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    return np.array(
+        [sample_entropy(row, m=m, k=k, r=r) for row in windows], dtype=float
+    )
+
+
+def approximate_entropy_reference(
+    windows: np.ndarray, m: int = 2, k: float = 0.2, r: float | None = None
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    return np.array(
+        [approximate_entropy(row, m=m, k=k, r=r) for row in windows],
+        dtype=float,
+    )
+
+
+def permutation_entropy_reference(
+    windows: np.ndarray,
+    order: int = 5,
+    delay: int = 1,
+    normalize: bool = True,
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    return np.array(
+        [
+            permutation_entropy(row, order=order, delay=delay, normalize=normalize)
+            for row in windows
+        ],
+        dtype=float,
+    )
+
+
+def renyi_entropy_reference(
+    windows: np.ndarray,
+    alpha: float = 2.0,
+    bins: int = 16,
+    normalize: bool = False,
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    return np.array(
+        [
+            renyi_entropy(row, alpha=alpha, bins=bins, normalize=normalize)
+            for row in windows
+        ],
+        dtype=float,
+    )
+
+
+def shannon_entropy_reference(
+    windows: np.ndarray, bins: int = 16, normalize: bool = False
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    return np.array(
+        [shannon_entropy(row, bins=bins, normalize=normalize) for row in windows],
+        dtype=float,
+    )
+
+
+def dwt_details_reference(
+    windows: np.ndarray, level: int = 7, wavelet: int = 4
+) -> dict[int, np.ndarray]:
+    """Per-level detail coefficients, ``{lvl: (n_windows, n_coeffs)}``."""
+    windows = _check_windows(windows)
+    per_row = [dwt_details(row, level=level, wavelet=wavelet) for row in windows]
+    return {
+        lvl: np.stack([d[lvl] for d in per_row])
+        for lvl in range(1, level + 1)
+    }
+
+
+def band_powers_reference(
+    windows: np.ndarray,
+    fs: float,
+    bands: tuple[tuple[float, float], ...],
+) -> np.ndarray:
+    """Welch band powers per window: ``(n_windows, len(bands))``.
+
+    Matches the extractors' usage exactly: one full-window Hann segment
+    per window (``nperseg = n_samples``), every band integrated from
+    that single PSD.
+    """
+    windows = _check_windows(windows)
+    out = np.empty((windows.shape[0], len(bands)), dtype=float)
+    for i, row in enumerate(windows):
+        freqs, psd = welch_psd(row, fs, nperseg=row.size)
+        out[i] = [band_power_from_psd(freqs, psd, band) for band in bands]
+    return out

@@ -1,0 +1,392 @@
+"""Vectorized backend: batched kernels bitwise-identical to the reference.
+
+Every kernel here processes all windows of a batch in whole-array numpy
+operations, but is engineered so each output row carries the *exact*
+bits the per-window reference produces.  Three rules make that work:
+
+1. **Elementwise and per-lane operations batch freely.**  Subtraction,
+   multiplication, division, ``log``/``log2``, comparisons, stable
+   argsort along the last axis, and ``rfft`` along rows all act per
+   element or per 1-D lane, so a batched call equals a loop of scalar
+   calls bit-for-bit.
+2. **Reductions must see the same operand sequence.**  numpy reduces
+   with pairwise summation whose tree depends on the reduced length, so
+   sums/means/stds are taken along ``axis=1`` of contiguous rows with
+   exactly the reference's row length — never over padded or masked
+   rows.  Where the reference sums a *variable*-length vector per
+   window (the positive histogram bins, the observed ordinal patterns),
+   rows are grouped by that length and each group reduced over a
+   compacted ``(rows, length)`` array.
+3. **Integer work is exact.**  Template-match counts, ordinal-pattern
+   Lehmer codes and histogram bin indices are integers; any evaluation
+   order gives identical values.  Histogram bins replicate numpy's own
+   fast path (linspace edges, truncating index map, boundary
+   corrections) so the counts match ``np.histogram`` everywhere,
+   including its pathological rounding cases.
+
+The registration gate in :mod:`repro.kernels.registry` re-verifies all
+of this differentially on every import.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from ..entropy.permutation import lehmer_codes
+from ..exceptions import SignalError
+from ..signals.spectral import EEG_BANDS
+from .plans import embedding_plan, hann_window, wavelet_plan
+from .reference import _check_windows
+
+__all__ = [
+    "sample_entropy_vectorized",
+    "approximate_entropy_vectorized",
+    "permutation_entropy_vectorized",
+    "renyi_entropy_vectorized",
+    "shannon_entropy_vectorized",
+    "dwt_details_vectorized",
+    "band_powers_vectorized",
+]
+
+#: Rough scratch budget per chunk of the O(n_templates^2) distance
+#: tensors, so huge batches of long windows never materialize at once.
+_CHUNK_BYTES = 48_000_000
+
+
+# ---------------------------------------------------------------------------
+# Template matching (sample / approximate entropy)
+# ---------------------------------------------------------------------------
+
+
+def _match_counts(
+    windows: np.ndarray,
+    idx: np.ndarray,
+    r_rows: np.ndarray,
+    per_template: bool,
+) -> np.ndarray:
+    """Chebyshev template-match counts per window.
+
+    With ``per_template=False``: ordered pairs ``i != j`` within
+    tolerance (sample entropy's ``A``/``B`` counters).  With
+    ``per_template=True``: per-template counts *including* the self
+    match (approximate entropy's ``C_i``).  Pure integer output, so any
+    chunking is exact.
+    """
+    n_windows = windows.shape[0]
+    n_vec, m = idx.shape
+    out_shape = (n_windows, n_vec) if per_template else (n_windows,)
+    out = np.zeros(out_shape, dtype=np.int64)
+    if n_vec < 2:
+        if per_template and n_vec == 1:
+            out[:] = 1
+        return out
+    per_row = n_vec * n_vec * 9 + n_vec * m * 8
+    chunk = max(1, _CHUNK_BYTES // per_row)
+    for s in range(0, n_windows, chunk):
+        emb = windows[s : s + chunk][:, idx]  # (c, n_vec, m)
+        lane = emb[:, :, 0]
+        dist = np.abs(lane[:, :, None] - lane[:, None, :])
+        for t in range(1, m):
+            lane = emb[:, :, t]
+            np.maximum(dist, np.abs(lane[:, :, None] - lane[:, None, :]), out=dist)
+        hits = dist <= r_rows[s : s + chunk, None, None]
+        if per_template:
+            out[s : s + chunk] = hits.sum(axis=2)
+        else:
+            out[s : s + chunk] = hits.sum(axis=(1, 2)) - n_vec
+    return out
+
+
+def _prepare_tolerance(
+    windows: np.ndarray, m: int, k: float, r: float | None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Shared (out, live_rows, r_per_row) setup for SampEn/ApEn kernels.
+
+    ``out`` starts at the degenerate value 0.0; ``live_rows`` indexes the
+    rows that need matching (non-constant, or all rows when ``r`` is
+    explicit), exactly mirroring the scalar functions' early returns.
+    """
+    if m < 1:
+        raise SignalError(f"template length m must be >= 1, got {m}")
+    n_windows, n = windows.shape
+    out = np.zeros(n_windows)
+    if n < m + 2:
+        return out, np.empty(0, dtype=np.intp), np.empty(0)
+    if r is None:
+        sd = np.std(windows, axis=1)
+        live = np.nonzero(sd != 0.0)[0]
+        r_rows = k * sd
+    else:
+        live = np.arange(n_windows, dtype=np.intp)
+        r_rows = np.full(n_windows, float(r))
+    return out, live, r_rows
+
+
+def _sampen_value(b: int, a: int, n: int, m: int) -> float:
+    """The scalar SampEn finalization, identical to ``sample_entropy``."""
+    if b == 0:
+        n_pairs = (n - m) * (n - m - 1)
+        return math.log(n_pairs) if n_pairs > 1 else 0.0
+    if a == 0:
+        return math.log(b)
+    return -math.log(a / b)
+
+
+def sample_entropy_vectorized(
+    windows: np.ndarray, m: int = 2, k: float = 0.2, r: float | None = None
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    out, live, r_rows = _prepare_tolerance(windows, m, k, r)
+    if live.size == 0:
+        return out
+    n = windows.shape[1]
+    sub = windows[live]
+    b = _match_counts(sub, embedding_plan(n, m), r_rows[live], False)
+    a = _match_counts(sub, embedding_plan(n, m + 1), r_rows[live], False)
+    out[live] = [
+        _sampen_value(int(bi), int(ai), n, m) for bi, ai in zip(b, a)
+    ]
+    return out
+
+
+def _phi_rows(windows: np.ndarray, mm: int, r_rows: np.ndarray) -> np.ndarray:
+    """ApEn's phi(mm) for every row: mean log self-inclusive match rate."""
+    n = windows.shape[1]
+    idx = embedding_plan(n, mm)
+    counts = _match_counts(windows, idx, r_rows, per_template=True)
+    fracs = counts / idx.shape[0]
+    return np.mean(np.log(fracs), axis=1)
+
+
+def approximate_entropy_vectorized(
+    windows: np.ndarray, m: int = 2, k: float = 0.2, r: float | None = None
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    out, live, r_rows = _prepare_tolerance(windows, m, k, r)
+    if live.size == 0:
+        return out
+    sub = windows[live]
+    out[live] = _phi_rows(sub, m, r_rows[live]) - _phi_rows(
+        sub, m + 1, r_rows[live]
+    )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Permutation entropy
+# ---------------------------------------------------------------------------
+
+
+def permutation_entropy_vectorized(
+    windows: np.ndarray,
+    order: int = 5,
+    delay: int = 1,
+    normalize: bool = True,
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    if order < 2:
+        raise SignalError(f"permutation order must be >= 2, got {order}")
+    if delay < 1:
+        raise SignalError(f"delay must be >= 1, got {delay}")
+    n_windows, n = windows.shape
+    out = np.zeros(n_windows)
+    idx = embedding_plan(n, order, delay)
+    n_vec = idx.shape[0]
+    if n_vec < 1 or n_windows == 0:
+        return out
+
+    codes = np.empty((n_windows, n_vec), dtype=np.int64)
+    chunk = max(1, _CHUNK_BYTES // (n_vec * order * 32))
+    for s in range(0, n_windows, chunk):
+        # One flat (rows, order) matrix of all embedded vectors in the
+        # chunk: its lanes are exactly the reference's per-window
+        # embedding rows, so the double stable argsort and the shared
+        # Lehmer encoding produce identical pattern codes.
+        emb = windows[s : s + chunk][:, idx].reshape(-1, order)
+        ranks = np.argsort(
+            np.argsort(emb, axis=1, kind="stable"), axis=1, kind="stable"
+        )
+        codes[s : s + chunk] = lehmer_codes(ranks).reshape(-1, n_vec)
+
+    # Per-row pattern frequencies by run-length over sorted codes; the
+    # ascending-value order matches np.unique's.  Rows are grouped by
+    # their number of distinct patterns so each group's entropy sum runs
+    # over a compacted (rows, n_distinct) array — the same pairwise
+    # reduction the reference applies to its length-n_distinct vector.
+    sorted_codes = np.sort(codes, axis=1)
+    boundary = np.ones((n_windows, n_vec), dtype=bool)
+    boundary[:, 1:] = sorted_codes[:, 1:] != sorted_codes[:, :-1]
+    distinct = boundary.sum(axis=1)
+    denom = math.log2(math.factorial(order)) if normalize else None
+    for u in np.unique(distinct):
+        rows = np.nonzero(distinct == u)[0]
+        starts = np.nonzero(boundary[rows])[1].reshape(rows.size, int(u))
+        ends = np.concatenate(
+            [starts[:, 1:], np.full((rows.size, 1), n_vec, dtype=starts.dtype)],
+            axis=1,
+        )
+        p = (ends - starts) / n_vec
+        h = -np.sum(p * np.log2(p), axis=1)
+        if denom is not None:
+            h = h / denom
+        out[rows] = h
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Histogram entropies (Shannon / Rényi)
+# ---------------------------------------------------------------------------
+
+
+def _histogram_rows(windows: np.ndarray, bins: int) -> np.ndarray:
+    """``np.histogram(row, bins)[0]`` for every row, batched.
+
+    Replicates numpy's equal-width fast path — linspace edges over the
+    row's [min, max], truncated linear index map, then the two boundary
+    corrections against the actual edge values — so the counts agree
+    with the scalar call even where the linear map rounds across a bin
+    edge.  Rows must have nonzero range.
+    """
+    n_windows, n = windows.shape
+    first = windows.min(axis=1)
+    last = windows.max(axis=1)
+    edges = np.linspace(first, last, bins + 1, axis=1)
+    f = ((windows - first[:, None]) / (last - first)[:, None]) * bins
+    indices = f.astype(np.intp)
+    indices[indices == bins] -= 1
+    indices[windows < np.take_along_axis(edges, indices, axis=1)] -= 1
+    too_high = (
+        windows >= np.take_along_axis(edges, indices + 1, axis=1)
+    ) & (indices != bins - 1)
+    indices[too_high] += 1
+    flat = indices + (np.arange(n_windows, dtype=np.intp) * bins)[:, None]
+    return np.bincount(flat.ravel(), minlength=n_windows * bins).reshape(
+        n_windows, bins
+    )
+
+
+def _positive_p_groups(counts: np.ndarray, n: int):
+    """Yield ``(row_indices, p)`` with ``p`` the compacted positive-bin
+    probabilities, grouping rows by their positive-bin count so axis-1
+    reductions see the reference's exact operand length."""
+    positive = counts > 0
+    n_pos = positive.sum(axis=1)
+    for u in np.unique(n_pos):
+        rows = np.nonzero(n_pos == u)[0]
+        vals = counts[rows][positive[rows]].reshape(rows.size, int(u))
+        yield rows, vals / n
+
+
+def shannon_entropy_vectorized(
+    windows: np.ndarray, bins: int = 16, normalize: bool = False
+) -> np.ndarray:
+    if bins < 2:
+        raise SignalError(f"need at least 2 histogram bins, got {bins}")
+    windows = _check_windows(windows)
+    n_windows, n = windows.shape
+    out = np.zeros(n_windows)
+    if n == 0:
+        return out
+    live = np.nonzero(np.ptp(windows, axis=1) != 0.0)[0]
+    if live.size == 0:
+        return out
+    counts = _histogram_rows(windows[live], bins)
+    for rows, p in _positive_p_groups(counts, n):
+        h = -np.sum(p * np.log2(p), axis=1)
+        if normalize:
+            h = h / math.log2(bins)
+        out[live[rows]] = h
+    return out
+
+
+def renyi_entropy_vectorized(
+    windows: np.ndarray,
+    alpha: float = 2.0,
+    bins: int = 16,
+    normalize: bool = False,
+) -> np.ndarray:
+    if alpha <= 0:
+        raise SignalError(f"Renyi order alpha must be positive, got {alpha}")
+    if bins < 2:
+        raise SignalError(f"need at least 2 histogram bins, got {bins}")
+    windows = _check_windows(windows)
+    n_windows, n = windows.shape
+    out = np.zeros(n_windows)
+    if n == 0:
+        return out
+    live = np.nonzero(np.ptp(windows, axis=1) != 0.0)[0]
+    if live.size == 0:
+        return out
+    counts = _histogram_rows(windows[live], bins)
+    shannon_limit = abs(alpha - 1.0) < 1e-12
+    for rows, p in _positive_p_groups(counts, n):
+        if shannon_limit:
+            h = -np.sum(p * np.log2(p), axis=1)
+        else:
+            h = np.log2(np.sum(p**alpha, axis=1)) / (1.0 - alpha)
+        if normalize:
+            h = h / math.log2(bins)
+        out[live[rows]] = h
+    return out
+
+
+# ---------------------------------------------------------------------------
+# DWT details and Welch band powers
+# ---------------------------------------------------------------------------
+
+
+def dwt_details_vectorized(
+    windows: np.ndarray, level: int = 7, wavelet: int = 4
+) -> dict[int, np.ndarray]:
+    return wavelet_plan(wavelet, level).details_batch(windows)
+
+
+def band_powers_vectorized(
+    windows: np.ndarray,
+    fs: float,
+    bands: tuple[tuple[float, float] | str, ...],
+) -> np.ndarray:
+    windows = _check_windows(windows)
+    n_windows, n = windows.shape
+    if n < 8:
+        raise SignalError(
+            f"signal too short for spectral estimation ({n} samples)"
+        )
+    if not np.all(np.isfinite(windows)):
+        raise SignalError("signal contains NaN or infinite values")
+    if fs <= 0:
+        raise SignalError(f"sampling frequency must be positive, got {fs}")
+    # Single full-window Hann segment per row — the extractors' Welch
+    # configuration (nperseg = window length, so no averaging).
+    win = hann_window(n)
+    norm = fs * np.sum(win**2)
+    seg = windows - windows.mean(axis=1, keepdims=True)
+    psd = (np.abs(np.fft.rfft(seg * win, axis=1)) ** 2) / norm
+    psd[:, 1:] *= 2.0
+    if n % 2 == 0:
+        psd[:, -1] /= 2.0
+    freqs = np.fft.rfftfreq(n, d=1.0 / fs)
+    out = np.empty((n_windows, len(bands)))
+    for col, band in enumerate(bands):
+        lo, hi = EEG_BANDS[band] if isinstance(band, str) else band
+        if not 0 <= lo < hi:
+            raise SignalError(f"invalid band ({lo}, {hi})")
+        mask = (freqs >= lo) & (freqs <= hi)
+        if mask.sum() < 2:
+            idx = int(np.argmin(np.abs(freqs - 0.5 * (lo + hi))))
+            out[:, col] = psd[:, idx] * (freqs[1] - freqs[0])
+        else:
+            # np.trapezoid's formula, spelled out: its internal broadcast
+            # product comes back non-C-ordered for 2-D input, and numpy's
+            # strided axis-1 reduction rounds differently than the 1-D
+            # sums the reference takes.  Forcing the addends contiguous
+            # restores the reference's exact pairwise reduction.
+            yband = psd[:, mask]
+            xband = freqs[mask]
+            addends = np.ascontiguousarray(
+                np.diff(xband) * (yband[:, 1:] + yband[:, :-1]) / 2.0
+            )
+            out[:, col] = addends.sum(axis=1)
+    return out

@@ -495,3 +495,46 @@ class TestShortRecordContract:
         with pytest.raises(FeatureError, match="shorter than one"):
             stream.finalize()
 
+
+
+class TestKernelBackendParity:
+    """Cohort reports are byte-identical under every kernel backend.
+
+    This is the registry's load-bearing guarantee: because each
+    non-reference backend is parity-gated bitwise at registration,
+    switching ``REPRO_KERNEL_BACKEND`` can never change a report.  A
+    serial executor keeps the env override in-process so monkeypatch
+    reaches the extraction code directly.
+    """
+
+    TASKS = (RecordTask(1, 0, 0), RecordTask(8, 0, 0))
+
+    def _report_json(self, dataset, monkeypatch, backend):
+        from repro.kernels import ENV_BACKEND
+
+        if backend is None:
+            monkeypatch.delenv(ENV_BACKEND, raising=False)
+        else:
+            monkeypatch.setenv(ENV_BACKEND, backend)
+        return CohortEngine(dataset, executor="serial").run(self.TASKS).to_json()
+
+    def test_reference_vectorized_and_default_byte_identical(
+        self, dataset, monkeypatch
+    ):
+        ref = self._report_json(dataset, monkeypatch, "reference")
+        vec = self._report_json(dataset, monkeypatch, "vectorized")
+        default = self._report_json(dataset, monkeypatch, None)
+        assert ref == vec == default
+
+    def test_compiled_request_byte_identical(self, dataset, monkeypatch):
+        # With numba absent the registry degrades per-kernel; either way
+        # the report must not change.
+        compiled = self._report_json(dataset, monkeypatch, "compiled")
+        default = self._report_json(dataset, monkeypatch, None)
+        assert compiled == default
+
+    def test_invalid_backend_fails_loud(self, dataset, monkeypatch):
+        from repro.exceptions import KernelError
+
+        with pytest.raises((KernelError, EngineError)):
+            self._report_json(dataset, monkeypatch, "turbo")

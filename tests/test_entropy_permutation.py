@@ -86,3 +86,58 @@ class TestPermutationEntropy:
         h1 = permutation_entropy(x, 4)
         h2 = permutation_entropy(3.0 * x + 7.0, 4)
         assert np.isclose(h1, h2)
+
+
+class TestLehmerCodes:
+    """The factorial-number-system pattern encoding shared by the scalar
+    path and the batched kernel."""
+
+    def test_identity_ranks_code_zero(self):
+        from repro.entropy.permutation import lehmer_codes
+
+        ranks = np.array([[0, 1, 2, 3]])
+        np.testing.assert_array_equal(lehmer_codes(ranks), [0])
+
+    def test_reversed_ranks_code_max(self):
+        from repro.entropy.permutation import lehmer_codes
+
+        ranks = np.array([[3, 2, 1, 0]])
+        np.testing.assert_array_equal(
+            lehmer_codes(ranks), [math.factorial(4) - 1]
+        )
+
+    def test_bijective_over_order_three(self):
+        from itertools import permutations
+
+        from repro.entropy.permutation import lehmer_codes
+
+        ranks = np.array(list(permutations(range(3))))
+        codes = lehmer_codes(ranks)
+        assert sorted(codes) == list(range(6))
+
+
+class TestDelayedPatterns:
+    """delay > 1 embeds every ``delay``-th sample (Sec. III-A uses 1,
+    but the kernel contract gates the general case)."""
+
+    def test_interleaved_monotone_collapses_at_delay_two(self):
+        x = np.empty(32)
+        x[0::2] = np.arange(16)
+        x[1::2] = 100.0 + np.arange(16)
+        assert permutation_entropy(x, order=3, delay=2) == 0.0
+        assert permutation_entropy(x, order=3, delay=1) > 0.0
+
+    def test_delay_two_equals_split_subsequences(self, rng):
+        # Ordinal patterns at delay 2 are exactly the union of the
+        # delay-1 patterns of the even- and odd-offset subsequences.
+        x = rng.standard_normal(64)
+        together = np.sort(ordinal_patterns(x, order=3, delay=2))
+        split = np.sort(
+            np.concatenate(
+                [
+                    ordinal_patterns(x[0::2], order=3, delay=1),
+                    ordinal_patterns(x[1::2], order=3, delay=1),
+                ]
+            )
+        )
+        np.testing.assert_array_equal(together, split)

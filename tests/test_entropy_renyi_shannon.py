@@ -81,3 +81,29 @@ class TestSpectralEntropy:
 
     def test_zero_signal(self):
         assert spectral_entropy(np.zeros(256), 256.0) == 0.0
+
+
+class TestDegenerateDistributions:
+    """Constant and near-constant inputs must stay finite — never NaN —
+    for every alpha, including the Shannon limit."""
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0, 3.0])
+    def test_constant_defined_for_all_alphas(self, alpha):
+        h = renyi_entropy(np.full(128, 2.5), alpha=alpha)
+        assert h == 0.0
+
+    @pytest.mark.parametrize("alpha", [0.5, 1.0, 2.0])
+    def test_normalized_constant_still_zero(self, alpha):
+        assert renyi_entropy(np.full(64, -3.0), alpha=alpha, normalize=True) == 0.0
+
+    def test_two_spikes_on_flat_baseline_finite(self):
+        x = np.zeros(64)
+        x[10] = 5.0
+        x[40] = -5.0
+        for alpha in (0.5, 1.0, 2.0):
+            assert np.isfinite(renyi_entropy(x, alpha=alpha))
+        assert np.isfinite(shannon_entropy(x))
+
+    def test_single_sample_zero(self):
+        assert shannon_entropy(np.array([4.2])) == 0.0
+        assert renyi_entropy(np.array([4.2]), alpha=2.0) == 0.0

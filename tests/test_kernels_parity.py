@@ -1,0 +1,451 @@
+"""Differential parity harness for the batched feature-kernel registry.
+
+Every non-reference backend in :mod:`repro.kernels` is gated against the
+looped scalar reference *at registration*; this suite re-runs that gate
+with a larger, independently seeded case battery, checks the shipped
+``vectorized`` backend bitwise (not just within tolerance), and pins the
+registry's resolution, refusal, and fallback semantics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.entropy.permutation import permutation_entropy
+from repro.entropy.sample import embedding_indices, sample_entropy
+from repro.exceptions import FeatureError, KernelError, SignalError
+from repro.features.paper10 import Paper10FeatureExtractor
+from repro.kernels import (
+    BACKENDS,
+    ENV_BACKEND,
+    available_backends,
+    contract_battery,
+    embedding_plan,
+    get_kernel,
+    hann_window,
+    kernel_backend_from_env,
+    kernel_contract,
+    register_kernel,
+    registered_kernels,
+    wavelet_plan,
+)
+from repro.kernels import registry as kernels_registry
+from repro.features.wavelet_features import dwt_details as scalar_dwt_details
+
+KERNELS = sorted(registered_kernels())
+
+#: Kernels whose battery windows are long enough to embed/decompose at
+#: arbitrary lengths are exercised on extra lengths beyond the contract.
+EXTRA_LENGTHS = {
+    "sample_entropy": (5, 33, 129),
+    "approximate_entropy": (5, 33, 129),
+    "permutation_entropy": (5, 33, 129),
+    "renyi_entropy": (5, 33, 129),
+    "shannon_entropy": (5, 33, 129),
+    "dwt_details": (320, 640),
+    "band_powers": (128, 640),
+}
+
+
+def _battery(name):
+    """A bigger, differently-seeded battery than the registration gate."""
+    contract = kernel_contract(name)
+    lengths = tuple(contract.n_samples) + EXTRA_LENGTHS.get(name, ())
+    return contract, contract_battery(lengths, n_windows=11, seed=97)
+
+
+def _pairs(ref_out, out):
+    """Yield comparable (reference, candidate) array pairs."""
+    if isinstance(ref_out, dict):
+        assert set(ref_out) == set(out)
+        for key in ref_out:
+            yield np.asarray(ref_out[key]), np.asarray(out[key])
+    else:
+        yield np.asarray(ref_out), np.asarray(out)
+
+
+class TestDifferentialHarness:
+    """Seeded random-signal battery, parameterized over the registry."""
+
+    def test_all_seven_kernels_registered(self):
+        assert KERNELS == [
+            "approximate_entropy",
+            "band_powers",
+            "dwt_details",
+            "permutation_entropy",
+            "renyi_entropy",
+            "sample_entropy",
+            "shannon_entropy",
+        ]
+        for name in KERNELS:
+            backends = available_backends(name)
+            assert "reference" in backends
+            assert "vectorized" in backends
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_vectorized_is_bitwise_identical(self, name):
+        """The shipped vectorized backend must match the reference
+        bit-for-bit — that is what keeps cohort reports byte-identical
+        across ``REPRO_KERNEL_BACKEND`` values."""
+        reference = get_kernel(name, prefer="reference")
+        vectorized = get_kernel(name, prefer="vectorized")
+        contract, battery = _battery(name)
+        for params in contract.params:
+            for windows in battery:
+                ref_out = reference(windows, **params)
+                out = vectorized(windows, **params)
+                for ref_arr, arr in _pairs(ref_out, out):
+                    np.testing.assert_array_equal(arr, ref_arr)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_every_registered_backend_within_contract(self, name):
+        """Any other backend (e.g. compiled, when numba is present) must
+        agree within its contract tolerances on the full battery."""
+        reference = get_kernel(name, prefer="reference")
+        contract, battery = _battery(name)
+        others = [
+            b
+            for b in available_backends(name)
+            if b not in ("reference", "vectorized")
+        ]
+        if not others:
+            pytest.skip(f"only reference/vectorized registered for {name!r}")
+        for backend in others:
+            impl = get_kernel(name, prefer=backend)
+            for params in contract.params:
+                for windows in battery:
+                    for ref_arr, arr in _pairs(
+                        reference(windows, **params), impl(windows, **params)
+                    ):
+                        np.testing.assert_allclose(
+                            arr,
+                            ref_arr,
+                            rtol=contract.rtol,
+                            atol=contract.atol,
+                        )
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_strided_and_float32_inputs_match_contiguous(self, name):
+        """Kernels normalize input layout: a strided view and its
+        contiguous copy produce bitwise-identical results."""
+        contract, _ = _battery(name)
+        rng = np.random.default_rng(1234)
+        n = max(contract.n_samples)
+        base = rng.standard_normal((9, 2 * n))
+        strided = base[::2, ::2]  # non-contiguous in both axes
+        assert not strided.flags["C_CONTIGUOUS"]
+        params = dict(contract.params[0])
+        kern = get_kernel(name)
+        for ref_arr, arr in _pairs(
+            kern(np.ascontiguousarray(strided), **params),
+            kern(strided, **params),
+        ):
+            np.testing.assert_array_equal(arr, ref_arr)
+
+    @pytest.mark.parametrize("name", KERNELS)
+    def test_batch_size_invariance(self, name):
+        """Row ``i`` of a batched call equals the single-row call — no
+        cross-window leakage through the batched reductions."""
+        contract, _ = _battery(name)
+        rng = np.random.default_rng(777)
+        windows = rng.standard_normal((8, max(contract.n_samples)))
+        params = dict(contract.params[-1])
+        kern = get_kernel(name)
+        full = kern(windows, **params)
+        for i in (0, 3, 7):
+            single = kern(windows[i : i + 1], **params)
+            for full_arr, one_arr in _pairs(full, single):
+                np.testing.assert_array_equal(one_arr[0], full_arr[i])
+
+
+class TestRegistryResolution:
+    def test_default_prefers_vectorized(self, monkeypatch):
+        monkeypatch.delenv(ENV_BACKEND, raising=False)
+        assert get_kernel("sample_entropy") is get_kernel(
+            "sample_entropy", prefer="vectorized"
+        )
+
+    def test_prefer_reference_is_strict(self):
+        ref = get_kernel("sample_entropy", prefer="reference")
+        vec = get_kernel("sample_entropy", prefer="vectorized")
+        assert ref is not vec
+
+    def test_env_selects_backend(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "reference")
+        assert kernel_backend_from_env() == "reference"
+        assert get_kernel("sample_entropy") is get_kernel(
+            "sample_entropy", prefer="reference"
+        )
+
+    def test_prefer_overrides_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "reference")
+        assert get_kernel("sample_entropy", prefer="vectorized") is get_kernel(
+            "sample_entropy", prefer="vectorized"
+        )
+        assert get_kernel(
+            "sample_entropy", prefer="vectorized"
+        ) is not get_kernel("sample_entropy", prefer="reference")
+
+    def test_env_read_at_call_time(self, monkeypatch):
+        """The environment override is honored per call, not cached at
+        import — engine workers spawned mid-session see the live value."""
+        monkeypatch.setenv(ENV_BACKEND, "vectorized")
+        vec = get_kernel("permutation_entropy")
+        monkeypatch.setenv(ENV_BACKEND, "reference")
+        ref = get_kernel("permutation_entropy")
+        assert vec is not ref
+
+    def test_invalid_env_value_raises(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "turbo")
+        with pytest.raises(KernelError, match="REPRO_KERNEL_BACKEND"):
+            kernel_backend_from_env()
+        with pytest.raises(KernelError):
+            get_kernel("sample_entropy")
+
+    def test_blank_env_means_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_BACKEND, "  ")
+        assert kernel_backend_from_env() is None
+
+    def test_unknown_kernel_raises(self):
+        with pytest.raises(KernelError, match="unknown kernel"):
+            get_kernel("does_not_exist")
+        with pytest.raises(KernelError, match="unknown kernel"):
+            available_backends("does_not_exist")
+        with pytest.raises(KernelError, match="unknown kernel"):
+            kernel_contract("does_not_exist")
+
+    def test_unknown_backend_raises(self):
+        with pytest.raises(KernelError, match="unknown kernel backend"):
+            get_kernel("sample_entropy", prefer="turbo")
+
+    def test_compiled_request_always_resolves(self):
+        """``prefer='compiled'`` degrades per-kernel instead of failing,
+        so REPRO_KERNEL_BACKEND=compiled works without numba."""
+        for name in KERNELS:
+            impl = get_kernel(name, prefer="compiled")
+            if "compiled" not in available_backends(name):
+                assert impl is get_kernel(name, prefer="vectorized")
+
+    def test_kernel_error_is_a_feature_error(self):
+        assert issubclass(KernelError, FeatureError)
+
+
+class TestRegistrationGate:
+    def test_non_reference_first_is_refused(self):
+        with pytest.raises(KernelError, match="no reference"):
+            register_kernel(
+                "never_registered", "vectorized", lambda windows: windows
+            )
+        assert "never_registered" not in registered_kernels()
+
+    def test_reference_requires_contract(self):
+        with pytest.raises(KernelError, match="contract"):
+            register_kernel(
+                "never_registered", "reference", lambda windows: windows
+            )
+        assert "never_registered" not in registered_kernels()
+
+    def test_contract_only_on_reference(self):
+        with pytest.raises(KernelError, match="reference registration"):
+            register_kernel(
+                "sample_entropy",
+                "compiled",
+                lambda windows, **kw: windows,
+                contract=kernel_contract("sample_entropy"),
+            )
+
+    def test_wrong_implementation_is_refused_and_not_registered(self):
+        """A backend that diverges from the reference fails the parity
+        gate with KernelError and leaves the registry untouched."""
+        before = available_backends("sample_entropy")
+
+        def wrong(windows, **kwargs):
+            windows = np.asarray(windows, dtype=float)
+            return np.full(windows.shape[0], 123.0)
+
+        with pytest.raises(KernelError, match="parity"):
+            register_kernel("sample_entropy", "compiled", wrong)
+        assert available_backends("sample_entropy") == before
+
+    def test_wrong_shape_is_refused(self):
+        before = available_backends("shannon_entropy")
+
+        def wrong_shape(windows, **kwargs):
+            windows = np.asarray(windows, dtype=float)
+            return np.zeros((windows.shape[0], 2))
+
+        with pytest.raises(KernelError, match="shape"):
+            register_kernel("shannon_entropy", "compiled", wrong_shape)
+        assert available_backends("shannon_entropy") == before
+
+    def test_correct_implementation_registers_and_is_resolvable(self):
+        """A genuinely equivalent backend passes the gate; clean up the
+        registry afterwards so other tests see the shipped state."""
+        name = "renyi_entropy"
+        vectorized = get_kernel(name, prefer="vectorized")
+        try:
+            register_kernel(name, "compiled", vectorized)
+            assert "compiled" in available_backends(name)
+            assert get_kernel(name, prefer="compiled") is vectorized
+        finally:
+            kernels_registry._REGISTRY[name].pop("compiled", None)
+
+    def test_backends_tuple_is_canonical(self):
+        assert BACKENDS == ("vectorized", "compiled", "reference")
+
+
+class TestEntropyEdgeCases:
+    """Degenerate signals must have *defined* behavior — the same one —
+    on the scalar, batched-reference and vectorized paths."""
+
+    ENTROPY_KERNELS = (
+        "sample_entropy",
+        "approximate_entropy",
+        "permutation_entropy",
+        "renyi_entropy",
+        "shannon_entropy",
+    )
+
+    @pytest.mark.parametrize("name", ENTROPY_KERNELS)
+    @pytest.mark.parametrize("backend", ("reference", "vectorized"))
+    def test_constant_signal_is_zero_not_nan(self, name, backend):
+        windows = np.full((4, 64), 3.25)
+        out = get_kernel(name, prefer=backend)(windows)
+        np.testing.assert_array_equal(out, np.zeros(4))
+
+    @pytest.mark.parametrize("backend", ("reference", "vectorized"))
+    def test_window_shorter_than_embedding_is_zero(self, backend, rng):
+        # n < m + 2: the scalar contract returns 0.0; batched paths agree.
+        windows = rng.standard_normal((5, 3))
+        out = get_kernel("sample_entropy", prefer=backend)(windows, m=2)
+        np.testing.assert_array_equal(out, np.zeros(5))
+        # n < order: no complete ordinal vector -> entropy 0.
+        out = get_kernel("permutation_entropy", prefer=backend)(
+            windows, order=5
+        )
+        np.testing.assert_array_equal(out, np.zeros(5))
+
+    @pytest.mark.parametrize("backend", ("reference", "vectorized"))
+    def test_permutation_delay_two(self, backend, rng):
+        windows = rng.standard_normal((6, 48))
+        kern = get_kernel("permutation_entropy", prefer=backend)
+        batched = kern(windows, order=3, delay=2)
+        scalar = np.array(
+            [permutation_entropy(row, order=3, delay=2) for row in windows]
+        )
+        np.testing.assert_array_equal(batched, scalar)
+        # delay=2 skips every other sample: two interleaved increasing
+        # subsequences look monotone at lag 2, so the delay-2 entropy
+        # collapses to zero while the delay-1 entropy does not.
+        saw = np.empty(32)
+        saw[0::2] = np.arange(16)  # 0, 1, 2, ...
+        saw[1::2] = 100.0 + np.arange(16)  # 100, 101, 102, ...
+        assert permutation_entropy(saw, order=3, delay=2) == 0.0
+        assert permutation_entropy(saw, order=3, delay=1) > 0.0
+        np.testing.assert_array_equal(
+            kern(saw[None, :], order=3, delay=2), np.zeros(1)
+        )
+
+    def test_sample_entropy_zero_variance_with_absolute_r(self):
+        # With an absolute tolerance the constant row is still live and
+        # every template matches: both paths give the same finite value.
+        windows = np.full((3, 32), -1.5)
+        ref = get_kernel("sample_entropy", prefer="reference")(
+            windows, m=2, r=0.5
+        )
+        vec = get_kernel("sample_entropy", prefer="vectorized")(
+            windows, m=2, r=0.5
+        )
+        np.testing.assert_array_equal(ref, vec)
+        assert np.all(np.isfinite(ref))
+        assert ref[0] == sample_entropy(windows[0], m=2, r=0.5)
+
+    def test_embedding_indices_short_series(self):
+        assert embedding_indices(3, 5).shape == (0, 5)
+        grid = embedding_indices(6, 2, delay=2)
+        np.testing.assert_array_equal(
+            grid, [[0, 2], [1, 3], [2, 4], [3, 5]]
+        )
+
+
+class TestShortWindowContract:
+    """Windows too short to decompose raise FeatureError on every path."""
+
+    def test_kernel_path(self):
+        for backend in ("reference", "vectorized"):
+            with pytest.raises(FeatureError, match="too short"):
+                get_kernel("dwt_details", prefer=backend)(
+                    np.zeros((3, 1)), level=7
+                )
+
+    def test_scalar_path(self):
+        with pytest.raises(FeatureError, match="too short"):
+            scalar_dwt_details(np.zeros(1), level=7)
+
+    def test_batch_path(self):
+        extractor = Paper10FeatureExtractor()
+        with pytest.raises(FeatureError, match="too short"):
+            extractor.extract_batch(np.zeros((2, 2, 1)), 256.0)
+
+    def test_window_path(self):
+        extractor = Paper10FeatureExtractor()
+        with pytest.raises(FeatureError, match="too short"):
+            extractor.extract_window(np.zeros((2, 1)), 256.0)
+
+    def test_streaming_path(self):
+        from repro.core.streaming import StreamingFeatureExtractor
+        from repro.signals.windowing import WindowSpec
+
+        stream = StreamingFeatureExtractor(
+            fs=4.0, spec=WindowSpec(length_s=0.25, step_s=0.25)
+        )
+        assert stream.spec.length_samples(4.0) == 1  # 1-sample windows
+        with pytest.raises(FeatureError, match="too short"):
+            stream.push(np.zeros((2, 2)))
+
+    def test_batch_rejects_nan(self):
+        extractor = Paper10FeatureExtractor()
+        windows = np.zeros((2, 2, 1024))
+        windows[1, 0, 5] = np.nan
+        with pytest.raises(FeatureError, match="NaN"):
+            extractor.extract_batch(windows, 256.0)
+
+    def test_band_powers_contract_matches_scalar(self):
+        # The spectral kernels keep the scalar SignalError contract for
+        # bad inputs (too short for Welch, invalid band name).
+        for backend in ("reference", "vectorized"):
+            kern = get_kernel("band_powers", prefer=backend)
+            with pytest.raises(SignalError, match="too short"):
+                kern(np.zeros((2, 4)), fs=256.0, bands=("theta",))
+            with pytest.raises(SignalError, match="invalid band"):
+                kern(np.ones((2, 64)), fs=256.0, bands=((8.0, 4.0),))
+            with pytest.raises(KeyError):
+                kern(np.ones((2, 64)), fs=256.0, bands=("not_a_band",))
+
+
+class TestPlans:
+    def test_embedding_plan_cached_and_read_only(self):
+        a = embedding_plan(64, 2)
+        b = embedding_plan(64, 2)
+        assert a is b
+        assert not a.flags.writeable
+        np.testing.assert_array_equal(a, embedding_indices(64, 2))
+
+    def test_hann_window_matches_numpy(self):
+        win = hann_window(1024)
+        assert not win.flags.writeable
+        np.testing.assert_array_equal(win, np.hanning(1024))
+
+    def test_wavelet_plan_cached(self):
+        assert wavelet_plan(4, 7) is wavelet_plan(4, 7)
+        assert wavelet_plan(4, 2) is not wavelet_plan(4, 7)
+
+    def test_details_batch_rows_match_scalar_dwt(self, rng):
+        windows = rng.standard_normal((5, 1024))
+        batched = wavelet_plan(4, 7).details_batch(windows)
+        for i in range(5):
+            scalar = scalar_dwt_details(windows[i], level=7)
+            assert set(batched) == set(scalar)
+            for lvl in scalar:
+                np.testing.assert_array_equal(batched[lvl][i], scalar[lvl])
