@@ -1,0 +1,211 @@
+"""Latency-SLO benchmark for the real-time detection service.
+
+Replays seeded synthetic records through the service data plane
+(:class:`~repro.service.manager.SessionManager` queues feeding
+:class:`~repro.service.session.DetectorSession` streams) and measures
+the per-chunk ingest→decision latency distribution, in two shapes:
+
+* **single** — one record replayed unpaced through a
+  :class:`~repro.service.replayer.Replayer` (one producer, inline
+  consumer): the floor of what a chunk costs end to end;
+* **fleet** — many concurrent sessions fed round-robin with 1 s chunks,
+  drained by one consumer pass per round: chunks experience real queue
+  wait, the telemetry's p95/p99 reflect a loaded service.
+
+Both shapes assert the byte-parity contract first — the replayed
+decision stream must equal
+:func:`~repro.service.session.batch_window_decisions` on the
+materialized record — so the benchmark can never report a latency for
+detections that are wrong.
+
+``--check`` enforces the CI SLO (p50/p99 bounds, deliberately generous:
+the point is catching order-of-magnitude regressions, not micro-drift);
+the full telemetry snapshot lands in ``--out`` for artifact upload.
+
+Usage::
+
+    python benchmarks/bench_service_latency.py            # full scale
+    python benchmarks/bench_service_latency.py --quick    # CI scale
+    python benchmarks/bench_service_latency.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+#: Full scale: a 30-minute record and a 32-session fleet.
+FULL = {"minutes": 30.0, "sessions": 32, "fleet_rounds": 120}
+#: Quick scale for the CI smoke job.
+QUICK = {"minutes": 5.0, "sessions": 8, "fleet_rounds": 40}
+
+#: CI latency SLO (milliseconds).  Generous floors: a 1 s chunk of
+#: 2-channel 256 Hz signal costs ~1 ms to featurize and score, so these
+#: only trip on order-of-magnitude regressions (e.g. an accidental
+#: O(stream) recompute per chunk), not on runner jitter.
+SLO_SINGLE_P50_MS = 50.0
+SLO_SINGLE_P99_MS = 250.0
+SLO_FLEET_P99_MS = 1000.0
+
+DEFAULT_OUT = Path(__file__).parent / "results" / "service_latency.json"
+
+
+def bench_single(minutes: float) -> dict:
+    """One unpaced replay; parity-checked against the batch pipeline."""
+    from repro.service import (
+        Replayer,
+        SessionManager,
+        batch_window_decisions,
+    )
+    from repro.data.dataset import SyntheticEEGDataset
+
+    dataset = SyntheticEEGDataset(
+        duration_range_s=(minutes * 60.0, minutes * 60.0 + 60.0)
+    )
+    source = dataset.sample_source(1, 0, 0)
+    manager = SessionManager()
+    start = time.perf_counter()
+    report = Replayer(manager, speed=0, chunk_s=1.0).replay(source)
+    elapsed = time.perf_counter() - start
+
+    batch = batch_window_decisions(source.materialize())
+    if list(report.decisions) != batch:
+        raise AssertionError(
+            f"service/batch parity violated: {len(report.decisions)} "
+            f"streamed vs {len(batch)} batch decisions"
+        )
+    snapshot = manager.snapshot()
+    return {
+        "shape": "single",
+        "media_s": round(report.media_s, 3),
+        "chunks": report.chunks,
+        "windows": report.windows,
+        "parity": "byte-identical",
+        "elapsed_s": round(elapsed, 3),
+        "realtime_factor": round(report.media_s / elapsed, 1),
+        "latency": snapshot["latency"],
+    }
+
+
+def bench_fleet(minutes: float, sessions: int, rounds: int) -> dict:
+    """Concurrent sessions fed round-robin, drained once per round."""
+    import numpy as np
+
+    from repro.service import SessionManager
+    from repro.data.dataset import SyntheticEEGDataset
+
+    dataset = SyntheticEEGDataset(
+        duration_range_s=(minutes * 60.0, minutes * 60.0 + 60.0)
+    )
+    record = dataset.sample_source(1, 0, 0).materialize()
+    fs = int(record.fs)
+    manager = SessionManager()
+    for i in range(sessions):
+        manager.open_session(f"fleet-{i:03d}")
+    start = time.perf_counter()
+    for rnd in range(rounds):
+        lo = (rnd * fs) % max(1, record.n_samples - fs)
+        chunk = np.ascontiguousarray(record.data[:, lo : lo + fs])
+        for i in range(sessions):
+            result = manager.ingest(f"fleet-{i:03d}", chunk)
+            if not result.accepted:
+                raise AssertionError(
+                    f"fleet ingest rejected at round {rnd}: {result.reason}"
+                )
+        manager.pump_all()
+    summaries = manager.close_all()
+    elapsed = time.perf_counter() - start
+    snapshot = manager.snapshot()
+    return {
+        "shape": "fleet",
+        "sessions": sessions,
+        "rounds": rounds,
+        "chunks": snapshot["chunks"]["ingested"],
+        "windows": sum(s.windows for s in summaries),
+        "shed": snapshot["chunks"]["shed"],
+        "elapsed_s": round(elapsed, 3),
+        "queue_high_water": snapshot["queue"]["high_water"],
+        "latency": snapshot["latency"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true", help="CI scale")
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit 1 unless p50/p99 stay under the SLO floors "
+        f"(single: {SLO_SINGLE_P50_MS:g}/{SLO_SINGLE_P99_MS:g} ms, "
+        f"fleet p99: {SLO_FLEET_P99_MS:g} ms)",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=DEFAULT_OUT,
+        help=f"telemetry JSON destination (default {DEFAULT_OUT})",
+    )
+    args = parser.parse_args(argv)
+
+    scale = QUICK if args.quick else FULL
+    print(
+        f"scale: {scale['minutes']:g} min record, {scale['sessions']} "
+        f"fleet sessions x {scale['fleet_rounds']} rounds"
+    )
+    results = [
+        bench_single(scale["minutes"]),
+        bench_fleet(
+            scale["minutes"], scale["sessions"], scale["fleet_rounds"]
+        ),
+    ]
+    for r in results:
+        lat = r["latency"]
+        print(
+            f"{r['shape']:>7}: {r['chunks']} chunks -> {r['windows']} "
+            f"windows in {r['elapsed_s']:.2f} s | ingest->decision "
+            f"p50 {lat['p50_ms']:.3f} ms, p95 {lat['p95_ms']:.3f} ms, "
+            f"p99 {lat['p99_ms']:.3f} ms, jitter {lat['jitter_ms']:.3f} ms"
+        )
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    body = {"quick": args.quick, "results": results}
+    args.out.write_text(
+        json.dumps(body, sort_keys=True, separators=(",", ":"))
+    )
+    print(f"telemetry written to {args.out}")
+
+    if args.check:
+        single, fleet = results[0]["latency"], results[1]["latency"]
+        failures = []
+        if single["p50_ms"] > SLO_SINGLE_P50_MS:
+            failures.append(
+                f"single p50 {single['p50_ms']:.3f} ms > "
+                f"{SLO_SINGLE_P50_MS:g} ms"
+            )
+        if single["p99_ms"] > SLO_SINGLE_P99_MS:
+            failures.append(
+                f"single p99 {single['p99_ms']:.3f} ms > "
+                f"{SLO_SINGLE_P99_MS:g} ms"
+            )
+        if fleet["p99_ms"] > SLO_FLEET_P99_MS:
+            failures.append(
+                f"fleet p99 {fleet['p99_ms']:.3f} ms > "
+                f"{SLO_FLEET_P99_MS:g} ms"
+            )
+        if failures:
+            for failure in failures:
+                print(f"FAIL: {failure}", file=sys.stderr)
+            return 1
+        print(
+            f"OK: single p50/p99 {single['p50_ms']:.3f}/"
+            f"{single['p99_ms']:.3f} ms, fleet p99 "
+            f"{fleet['p99_ms']:.3f} ms within SLO"
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

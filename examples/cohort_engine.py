@@ -18,12 +18,20 @@ CLI equivalent of the run below:
 
 import time
 
-from repro import CohortEngine, SyntheticEEGDataset, cohort_tasks
+from repro import CohortEngine, SyntheticEEGDataset, api, cohort_tasks
 
 
 def main() -> None:
     # Short records keep the demo snappy; the paper uses 30-60 minutes.
     dataset = SyntheticEEGDataset(duration_range_s=(300.0, 360.0))
+
+    # The one-liner: the facade builds the engine, resolves environment
+    # knobs (executor kind, samples per seizure) once, and runs the
+    # cohort.  Everything below unpacks what this call does.
+    facade_report = api.evaluate_cohort(
+        dataset, patient_ids=[1, 8], max_workers=4
+    )
+    print(f"facade: {facade_report.n_records} records evaluated\n")
 
     # The work list is explicit and shardable: one task per (patient,
     # seizure, sample), each a pure function of the dataset seed.

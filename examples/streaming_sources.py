@@ -22,16 +22,15 @@ Run:
 
 import numpy as np
 
-from repro import APosterioriLabeler, SyntheticEEGDataset
-from repro.data import EDFRecordSource, record_content_digest, write_edf
-from repro.engine import extract_features_from_source
+from repro import APosterioriLabeler, SyntheticEEGDataset, api
+from repro.data import record_content_digest, write_edf
 
 
 def main() -> None:
     dataset = SyntheticEEGDataset(duration_range_s=(600.0, 900.0))
 
     # --- a record as a stream, not an array ---------------------------
-    source = dataset.sample_source(patient_id=9, seizure_index=0)
+    source = api.open_source(dataset=dataset, patient_id=9, seizure_index=0)
     truth = source.annotations[0]
     print(f"source: {source}")
     print(f"true seizure: [{truth.onset_s:.0f}, {truth.offset_s:.0f}] s")
@@ -56,7 +55,7 @@ def main() -> None:
     print(f"content digest at 3 chunk sizes: {digests.pop()} (all equal)")
 
     # --- streamed features == batch features ==> same label -----------
-    feats = extract_features_from_source(source, chunk_s=chunk_s)
+    feats = api.extract(source, chunk_s=chunk_s)
     labeler = APosterioriLabeler()
     result = labeler.label_matrix(
         feats, dataset.mean_seizure_duration(9), source.duration_s
@@ -79,7 +78,7 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as td:
         path = Path(td) / "record.edf"
         write_edf(source.materialize(), path)
-        edf = EDFRecordSource(path)
+        edf = api.open_source(path)
         streamed = np.concatenate(list(edf.iter_chunks(15.0)), axis=1)
         print(
             f"EDF source: {edf.n_samples} samples decoded incrementally, "

@@ -14,7 +14,14 @@ The package is organized as one subpackage per subsystem:
 * :mod:`repro.engine` — cohort-scale parallel batch execution with an
   equivalence guarantee against the sequential pipeline;
 * :mod:`repro.selflearning` — the Fig. 1 closed loop;
-* :mod:`repro.platform` — the wearable power/battery/memory/runtime model.
+* :mod:`repro.platform` — the wearable power/battery/memory/runtime model;
+* :mod:`repro.service` — the real-time detection service (sessions,
+  backpressure, wall-clock replay, latency telemetry);
+* :mod:`repro.api` — the four-verb facade (:func:`~repro.api.open_source`,
+  :func:`~repro.api.extract`, :func:`~repro.api.evaluate_cohort`,
+  :func:`~repro.api.start_service`);
+* :mod:`repro.settings` — every environment knob resolved into one
+  :class:`~repro.settings.ReproSettings` snapshot.
 
 Quickstart::
 
@@ -113,10 +120,40 @@ from .selflearning import (
     SelfLearningPipeline,
     SelfLearningReport,
 )
+from . import api
+from .api import evaluate_cohort, extract, open_source, start_service
+from .service import (
+    DetectionService,
+    DetectorSession,
+    Replayer,
+    ReplayReport,
+    ServiceConfig,
+    ServiceTelemetry,
+    SessionManager,
+    batch_window_decisions,
+)
+from .settings import ReproSettings
 from .version import __version__
 
 __all__ = [
     "__version__",
+    # facade
+    "api",
+    "evaluate_cohort",
+    "extract",
+    "open_source",
+    "start_service",
+    # settings
+    "ReproSettings",
+    # service
+    "DetectionService",
+    "DetectorSession",
+    "ReplayReport",
+    "Replayer",
+    "ServiceConfig",
+    "ServiceTelemetry",
+    "SessionManager",
+    "batch_window_decisions",
     # core
     "APosterioriLabeler",
     "CohortScore",

@@ -27,7 +27,14 @@ code:
 * ``store``    — lifecycle management for a persistent feature store
   directory (``stats`` / ``verify`` / ``gc`` / ``clear``);
 * ``lifetime`` — evaluate the wearable battery model at a given seizure
-  frequency (the Table III arithmetic).
+  frequency (the Table III arithmetic);
+* ``replay``   — stream a synthetic cohort record through the real-time
+  detection service at wall-clock speed (or unpaced) and print the
+  decision/telemetry rollup; ``--json`` emits a canonical, byte-stable
+  report for scripting;
+* ``serve``    — run the real-time detection service's length-prefixed
+  socket front-end (:mod:`repro.service`) until interrupted or
+  ``--max-seconds`` elapses.
 """
 
 from __future__ import annotations
@@ -106,6 +113,39 @@ def _add_scale_args(parser: argparse.ArgumentParser) -> None:
         "--paper-scale", action="store_true",
         help="Sec. VI-A paper scale (as for cohort)",
     )
+
+
+def _add_service_args(parser: argparse.ArgumentParser) -> None:
+    """The service queue knobs, shared by ``serve`` and ``replay``.
+
+    Defaults come from the environment-resolved
+    :class:`~repro.settings.ReproSettings` snapshot
+    (:envvar:`REPRO_SERVICE_QUEUE_DEPTH` /
+    :envvar:`REPRO_SERVICE_BACKPRESSURE`); explicit flags win.
+    """
+    parser.add_argument(
+        "--queue-depth", type=int, default=None, metavar="N",
+        help="per-session ingest queue bound in chunks (default: "
+        "$REPRO_SERVICE_QUEUE_DEPTH, else 64)",
+    )
+    parser.add_argument(
+        "--backpressure", choices=("reject", "shed-oldest"), default=None,
+        help="full-queue policy (default: $REPRO_SERVICE_BACKPRESSURE, "
+        "else reject)",
+    )
+
+
+def _service_config(args: argparse.Namespace):
+    """Resolve a :class:`~repro.service.config.ServiceConfig` from the
+    shared service flags over the settings snapshot."""
+    from .service.config import ServiceConfig
+
+    overrides = {}
+    if args.queue_depth is not None:
+        overrides["queue_depth"] = args.queue_depth
+    if args.backpressure is not None:
+        overrides["backpressure"] = args.backpressure
+    return ServiceConfig.from_settings(**overrides)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -469,6 +509,62 @@ def build_parser() -> argparse.ArgumentParser:
         "--labeling-only",
         action="store_true",
         help="exclude the real-time detector (Sec. VI-C first experiment)",
+    )
+
+    p_replay = sub.add_parser(
+        "replay",
+        help="replay a synthetic record through the real-time service",
+    )
+    p_replay.add_argument(
+        "--patient", type=int, default=1, help="cohort patient id (1-9)"
+    )
+    p_replay.add_argument(
+        "--seizure", type=int, default=0, help="seizure index"
+    )
+    p_replay.add_argument("--sample", type=int, default=0, help="sample index")
+    p_replay.add_argument(
+        "--duration-min", type=float, default=5.0,
+        help="minimum record duration in minutes (default 5)",
+    )
+    p_replay.add_argument(
+        "--duration-max", type=float, default=6.0,
+        help="maximum record duration in minutes (default 6)",
+    )
+    p_replay.add_argument(
+        "--speed", type=float, default=0.0,
+        help="wall-clock pacing: media seconds per wall second "
+        "(1 = live speed; default 0 = unpaced, run flat out)",
+    )
+    p_replay.add_argument(
+        "--chunk-s", type=float, default=1.0, metavar="SECONDS",
+        help="media seconds per ingested chunk (default 1; decisions "
+        "are byte-identical at any value)",
+    )
+    _add_service_args(p_replay)
+    p_replay.add_argument(
+        "--json", action="store_true",
+        help="print the canonical replay report as byte-stable JSON "
+        "(wall-clock fields excluded) instead of the human rollup",
+    )
+
+    p_serve = sub.add_parser(
+        "serve", help="run the real-time detection service socket listener"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port", type=int, default=0,
+        help="bind port (default 0: OS-assigned, printed on startup)",
+    )
+    _add_service_args(p_serve)
+    p_serve.add_argument(
+        "--max-seconds", type=float, default=None, metavar="S",
+        help="exit after S seconds (default: run until interrupted)",
+    )
+    p_serve.add_argument(
+        "--json", action="store_true",
+        help="print the final telemetry snapshot as canonical JSON on exit",
     )
     return parser
 
@@ -1016,6 +1112,125 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
     return 0
 
 
+def _stable_telemetry(snapshot: dict) -> dict:
+    """The deterministic slice of a telemetry snapshot — counters only,
+    wall-clock latency measurements excluded — so ``--json`` output is
+    byte-stable run to run for the same seeded input."""
+    return {k: v for k, v in snapshot.items() if k != "latency"}
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    import json
+
+    from .service.manager import SessionManager
+    from .service.replayer import Replayer
+
+    if args.duration_min <= 0 or args.duration_max < args.duration_min:
+        print("error: invalid duration range", file=sys.stderr)
+        return 2
+    try:
+        manager = SessionManager(_service_config(args))
+        replayer = Replayer(manager, speed=args.speed, chunk_s=args.chunk_s)
+        dataset = SyntheticEEGDataset(
+            duration_range_s=(args.duration_min * 60.0, args.duration_max * 60.0)
+        )
+        source = dataset.sample_source(args.patient, args.seizure, args.sample)
+        report = replayer.replay(source)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        body = {
+            "replay": report.to_dict(),
+            "telemetry": _stable_telemetry(manager.snapshot()),
+        }
+        print(json.dumps(body, sort_keys=True, separators=(",", ":")))
+        return 0
+    positives = sum(d.positive for d in report.decisions)
+    latency = manager.telemetry.latency()
+    print(f"record: {report.record_id} ({report.media_s:.0f} s media)")
+    pace = (
+        f"{report.speed:g}x pacing, max lag {report.max_lag_s * 1e3:.1f} ms"
+        if report.speed
+        else "unpaced"
+    )
+    print(
+        f"replayed {report.chunks} chunk(s) in {report.wall_s:.1f} s "
+        f"({pace})"
+    )
+    print(
+        f"decisions: {report.windows} window(s), {positives} positive, "
+        f"{report.shed} shed"
+    )
+    print(
+        f"ingest->decision latency: p50 {latency.p50_ms:.3f} ms, "
+        f"p95 {latency.p95_ms:.3f} ms, p99 {latency.p99_ms:.3f} ms"
+    )
+    if report.error:
+        print(f"finalize: {report.error}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+
+    from .service.ingest import DetectionService
+
+    if args.max_seconds is not None and args.max_seconds <= 0:
+        print("error: --max-seconds must be positive", file=sys.stderr)
+        return 2
+    try:
+        config = _service_config(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    async def run() -> dict:
+        service = DetectionService(config)
+        host, port = await service.serve(args.host, args.port)
+        print(
+            f"repro service listening on {host}:{port} "
+            f"(queue depth {config.queue_depth}, "
+            f"backpressure {config.backpressure})",
+            flush=True,
+        )
+        try:
+            if args.max_seconds is not None:
+                await asyncio.sleep(args.max_seconds)
+            else:  # pragma: no cover - interactive mode
+                await asyncio.Event().wait()
+        finally:
+            await service.stop()
+        return service.snapshot()
+
+    try:
+        snapshot = asyncio.run(run())
+    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+        print("interrupted", file=sys.stderr)
+        return 0
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(
+            json.dumps(
+                _stable_telemetry(snapshot),
+                sort_keys=True,
+                separators=(",", ":"),
+            )
+        )
+    else:
+        sessions = snapshot["sessions"]
+        chunks = snapshot["chunks"]
+        print(
+            f"served {sessions['opened']} session(s), "
+            f"{chunks['ingested']} chunk(s) ingested, "
+            f"{chunks['rejected']} rejected, {chunks['shed']} shed"
+        )
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -1027,6 +1242,8 @@ def main(argv: list[str] | None = None) -> int:
         "shard": _cmd_shard,
         "store": _cmd_store,
         "lifetime": _cmd_lifetime,
+        "replay": _cmd_replay,
+        "serve": _cmd_serve,
     }
     return handlers[args.command](args)
 

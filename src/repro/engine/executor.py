@@ -62,6 +62,7 @@ from ..data.sources import RecordSource
 from ..exceptions import EngineError
 from ..features.base import FeatureExtractor
 from ..ml.metrics import classification_report
+from ..settings import ReproSettings
 from ..signals.windowing import WindowSpec
 from .cache import FeatureCache
 from .checkpoint import (
@@ -308,6 +309,13 @@ class CohortEngine:
         dead journal lines, the journal is compacted before new appends
         (``None`` disables; a :class:`CohortCheckpoint` object passed to
         :meth:`run` keeps its own setting).
+    settings:
+        A resolved :class:`~repro.settings.ReproSettings` snapshot
+        supplying the default executor kind when ``executor`` is not
+        given — long-lived hosts (the detection service) resolve the
+        environment once and thread the same snapshot everywhere,
+        instead of re-reading :envvar:`REPRO_ENGINE_EXECUTOR` per
+        engine.  ``None`` keeps the per-call environment lookup.
     """
 
     def __init__(
@@ -316,6 +324,7 @@ class CohortEngine:
         *,
         max_workers: int | None = None,
         executor: str | None = None,
+        settings: "ReproSettings | None" = None,
         extractor: FeatureExtractor | None = None,
         spec: WindowSpec | None = None,
         method: str = "fast",
@@ -328,7 +337,9 @@ class CohortEngine:
         checkpoint_compact_dead_lines: int | None = DEFAULT_COMPACT_DEAD_LINES,
     ) -> None:
         if executor is None:
-            executor = default_executor()
+            executor = (
+                settings.engine_executor if settings else default_executor()
+            )
         if executor not in _EXECUTORS:
             raise EngineError(
                 f"executor must be one of {_EXECUTORS}, got {executor!r}"

@@ -57,6 +57,20 @@ class ShardError(EngineError):
     shard subprocesses that failed under the launcher's policy."""
 
 
+class ServiceError(ReproError):
+    """Raised by the real-time detection service: unknown or closed
+    sessions, duplicate session ids, out-of-order chunk sequence numbers,
+    malformed ingest frames, or misconfigured service parameters."""
+
+
+class BackpressureError(ServiceError):
+    """Raised under the ``reject`` backpressure policy when a session's
+    bounded ingest queue is full and the caller asked for strict
+    admission (:meth:`SessionManager.ingest` with ``strict=True``).  The
+    non-strict path surfaces the same condition as a rejected
+    :class:`~repro.service.manager.IngestResult` instead."""
+
+
 class ModelError(ReproError):
     """Raised by the ML substrate (tree / forest / clustering) on misuse,
     e.g. predicting before fitting."""

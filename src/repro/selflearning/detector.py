@@ -101,16 +101,27 @@ class RealTimeDetector:
     # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
-    def window_probabilities(self, record: EEGRecord) -> np.ndarray:
-        """Per-window seizure probability over a record."""
+    def row_probabilities(self, values: np.ndarray) -> np.ndarray:
+        """Seizure probability of already-extracted feature rows.
+
+        The row-level scoring path shared by :meth:`window_probabilities`
+        (batch records) and the real-time service's
+        :class:`~repro.service.session.ForestWindowDetector` (streamed
+        rows) — per-row pure, so any batching of the same rows produces
+        identical probabilities.
+        """
         if self._forest is None:
             raise ModelError("detector is not fitted; call fit() first")
-        feats = extract_features(record, self.extractor, self.spec)
-        values = self._scaler.transform(feats.values)
+        values = self._scaler.transform(np.asarray(values, dtype=float))
         proba = self._forest.predict_proba(values)
         assert self._forest.classes_ is not None
         pos_col = int(np.where(self._forest.classes_ == 1)[0][0])
         return proba[:, pos_col]
+
+    def window_probabilities(self, record: EEGRecord) -> np.ndarray:
+        """Per-window seizure probability over a record."""
+        feats = extract_features(record, self.extractor, self.spec)
+        return self.row_probabilities(feats.values)
 
     def window_predictions(self, record: EEGRecord) -> np.ndarray:
         """Binary per-window decisions (before alarm smoothing)."""

@@ -1,0 +1,96 @@
+"""Configuration of the real-time detection service.
+
+One :class:`ServiceConfig` describes everything shared by the sessions a
+:class:`~repro.service.manager.SessionManager` hosts: the signal
+geometry (sampling rate, channel count), the feature/window definition
+(which must match the batch pipeline for the byte-parity contract to
+hold), and the ingest-queue policy.  Per-session state (buffers,
+detector instances) lives in :class:`~repro.service.session
+.DetectorSession`; the config is immutable and freely shareable across
+thousands of sessions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..exceptions import ServiceError
+from ..features.base import FeatureExtractor
+from ..features.paper10 import Paper10FeatureExtractor
+from ..settings import (
+    BACKPRESSURE_POLICIES,
+    DEFAULT_QUEUE_DEPTH,
+    ReproSettings,
+)
+from ..signals.windowing import WindowSpec
+
+__all__ = ["ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Shared, immutable configuration of one detection service.
+
+    Attributes
+    ----------
+    fs / n_channels:
+        Signal geometry every session of this service expects (the
+        paper's wearable: 2 bipolar channels at 256 Hz).
+    extractor / spec:
+        Feature definition and window geometry.  Defaults match the
+        batch pipeline (10 selected features over 4 s / 1 s windows), so
+        service decisions are byte-comparable to
+        :func:`~repro.features.extraction.extract_features` output.
+    queue_depth:
+        Bound of each session's ingest queue (chunks admitted but not
+        yet decided).
+    backpressure:
+        Full-queue policy — ``"reject"`` refuses the new chunk,
+        ``"shed-oldest"`` drops the oldest queued chunk to admit it;
+        both are surfaced to the caller and counted in telemetry,
+        neither is ever silent.
+    threshold:
+        Default decision threshold for sessions that do not bring their
+        own detector.
+    """
+
+    fs: float = 256.0
+    n_channels: int = 2
+    extractor: FeatureExtractor = field(default_factory=Paper10FeatureExtractor)
+    spec: WindowSpec = field(default_factory=lambda: WindowSpec(4.0, 1.0))
+    queue_depth: int = DEFAULT_QUEUE_DEPTH
+    backpressure: str = "reject"
+    threshold: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.fs <= 0:
+            raise ServiceError(f"fs must be positive, got {self.fs}")
+        if self.n_channels < 1:
+            raise ServiceError(
+                f"n_channels must be >= 1, got {self.n_channels}"
+            )
+        if self.queue_depth < 1:
+            raise ServiceError(
+                f"queue_depth must be >= 1, got {self.queue_depth}"
+            )
+        if self.backpressure not in BACKPRESSURE_POLICIES:
+            raise ServiceError(
+                f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
+                f"got {self.backpressure!r}"
+            )
+
+    @classmethod
+    def from_settings(
+        cls, settings: ReproSettings | None = None, **overrides
+    ) -> "ServiceConfig":
+        """Build a config whose queue/backpressure defaults come from a
+        :class:`~repro.settings.ReproSettings` snapshot (environment
+        knobs), with explicit keyword overrides winning."""
+        if settings is None:
+            settings = ReproSettings.from_env()
+        values: dict = {
+            "queue_depth": settings.service_queue_depth,
+            "backpressure": settings.service_backpressure,
+        }
+        values.update(overrides)
+        return cls(**values)

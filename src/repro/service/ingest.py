@@ -1,0 +1,285 @@
+"""Async ingest front-end: fan live chunk streams into the session host.
+
+:class:`DetectionService` puts an asyncio face on a
+:class:`~repro.service.manager.SessionManager`: producers ``await
+ingest(...)`` (in-process) or speak a small length-prefixed socket
+protocol (:meth:`DetectionService.serve`), and one consumer task drains
+session queues through the detectors.  Backpressure propagates
+unchanged — a full queue surfaces the manager's
+:class:`~repro.service.manager.IngestResult` to the async caller and as
+an error frame to socket clients.
+
+Wire protocol (one frame per message, both directions)::
+
+    [4-byte big-endian payload length][UTF-8 JSON payload]
+
+Requests are JSON objects with an ``op`` field:
+
+``{"op": "open", "session": id}``
+    Register a session.
+``{"op": "chunk", "session": id, "seq": n, "shape": [c, n], "data": b64}``
+    One signal chunk; ``data`` is base64 of the row-major float64
+    samples.  The response carries the ingest result (accepted / queued
+    / shed).
+``{"op": "poll", "session": id, "max": k?}``
+    Drain up to ``k`` decided windows.
+``{"op": "close", "session": id}``
+    Finalize; the response carries the session summary (including the
+    short-stream error, if any) and trailing events.
+``{"op": "telemetry"}``
+    The service telemetry snapshot.
+
+Every response is ``{"ok": true, ...}`` or ``{"ok": false, "error":
+message}`` — a malformed frame fails its own request, never the
+connection.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import dataclasses
+import json
+import struct
+
+import numpy as np
+
+from ..exceptions import ReproError, ServiceError
+from .config import ServiceConfig
+from .manager import IngestResult, SessionManager
+from .session import WindowDetector
+from .telemetry import telemetry_to_json
+
+__all__ = ["DetectionService", "MAX_FRAME_BYTES"]
+
+#: Upper bound of one frame's payload; a length prefix past this is
+#: treated as a protocol violation (protects the server from a single
+#: garbage frame allocating gigabytes).
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LEN = struct.Struct(">I")
+
+
+async def _read_frame(reader: asyncio.StreamReader) -> dict | None:
+    """Read one length-prefixed JSON frame; None on clean EOF."""
+    try:
+        head = await reader.readexactly(_LEN.size)
+    except (asyncio.IncompleteReadError, ConnectionResetError):
+        return None
+    (length,) = _LEN.unpack(head)
+    if length > MAX_FRAME_BYTES:
+        raise ServiceError(
+            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
+            f"limit"
+        )
+    payload = await reader.readexactly(length)
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServiceError(f"malformed frame: {exc}") from None
+    if not isinstance(message, dict):
+        raise ServiceError("frame payload must be a JSON object")
+    return message
+
+
+def _write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
+    payload = json.dumps(
+        message, sort_keys=True, separators=(",", ":")
+    ).encode("utf-8")
+    writer.write(_LEN.pack(len(payload)) + payload)
+
+
+def _decode_chunk(message: dict) -> np.ndarray:
+    try:
+        shape = tuple(int(v) for v in message["shape"])
+        raw = base64.b64decode(message["data"], validate=True)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ServiceError(f"bad chunk frame: {exc}") from None
+    if len(shape) != 2 or shape[0] < 1 or shape[1] < 0:
+        raise ServiceError(f"bad chunk shape {shape}")
+    expected = shape[0] * shape[1] * 8
+    if len(raw) != expected:
+        raise ServiceError(
+            f"chunk payload is {len(raw)} bytes, shape {shape} needs "
+            f"{expected}"
+        )
+    return np.frombuffer(raw, dtype=np.float64).reshape(shape).copy()
+
+
+class DetectionService:
+    """Asyncio host around a :class:`SessionManager`.
+
+    Start with :meth:`start` (spawns the consumer task), feed with
+    :meth:`ingest` / :meth:`serve`, stop with :meth:`stop`.  Also usable
+    as an async context manager.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        manager: SessionManager | None = None,
+    ) -> None:
+        if config is not None and manager is not None:
+            raise ServiceError("pass config or manager, not both")
+        # `is not None`, not truthiness: an empty manager has len() == 0.
+        self.manager = (
+            manager if manager is not None else SessionManager(config)
+        )
+        self._dirty: asyncio.Queue[str] = asyncio.Queue()
+        self._consumer: asyncio.Task | None = None
+        self._server: asyncio.base_events.Server | None = None
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "DetectionService":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def start(self) -> None:
+        if self._consumer is None:
+            self._consumer = asyncio.create_task(self._consume())
+
+    async def stop(self) -> None:
+        """Drain outstanding work, then cancel the consumer and server."""
+        await self.drain()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._consumer is not None:
+            self._consumer.cancel()
+            try:
+                await self._consumer
+            except asyncio.CancelledError:
+                pass
+            self._consumer = None
+
+    async def drain(self) -> None:
+        """Wait until every admitted chunk has been decided."""
+        await self._dirty.join()
+
+    async def _consume(self) -> None:
+        """The single consumer: decide one queued chunk per wakeup.
+
+        Chunk decisions are numpy-bound; running them on the loop keeps
+        the service single-process and deterministic, and one-chunk
+        granularity keeps the loop responsive between decisions.
+        """
+        while True:
+            session_id = await self._dirty.get()
+            try:
+                self.manager.pump(session_id, max_chunks=1)
+            except ServiceError:
+                pass  # session closed with chunks in flight — accounted there
+            finally:
+                self._dirty.task_done()
+
+    # ------------------------------------------------------------------
+    # In-process async API
+    # ------------------------------------------------------------------
+    async def open_session(
+        self, session_id: str, detector: WindowDetector | None = None
+    ):
+        return self.manager.open_session(session_id, detector)
+
+    async def ingest(
+        self, session_id: str, chunk: np.ndarray, seq: int | None = None
+    ) -> IngestResult:
+        """Offer one chunk; schedules the decision on the consumer task.
+
+        The returned result is the *admission* verdict (backpressure is
+        synchronous and explicit); the decision itself happens on the
+        consumer — poll or close to collect events.
+        """
+        result = self.manager.ingest(session_id, chunk, seq=seq)
+        if result.accepted:
+            self._dirty.put_nowait(session_id)
+        return result
+
+    async def poll_events(self, session_id: str, max_events: int | None = None):
+        return self.manager.poll_events(session_id, max_events)
+
+    async def close_session(self, session_id: str, drain: bool = True):
+        # The manager's close drains the queue itself; consumer wakeups
+        # for already-decided chunks are absorbed by the pump no-op.
+        return self.manager.close_session(session_id, drain=drain)
+
+    def snapshot(self) -> dict:
+        return self.manager.snapshot()
+
+    # ------------------------------------------------------------------
+    # Socket front-end
+    # ------------------------------------------------------------------
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Start the length-prefixed socket listener; returns the bound
+        ``(host, port)`` (``port=0`` lets the OS choose)."""
+        await self.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await _read_frame(reader)
+                except ServiceError as exc:
+                    _write_frame(writer, {"ok": False, "error": str(exc)})
+                    await writer.drain()
+                    break  # framing is broken; the stream cannot recover
+                if message is None:
+                    break
+                _write_frame(writer, await self._dispatch(message))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _dispatch(self, message: dict) -> dict:
+        try:
+            op = message.get("op")
+            if op == "open":
+                session = await self.open_session(str(message["session"]))
+                return {"ok": True, "session": session.session_id}
+            if op == "chunk":
+                result = await self.ingest(
+                    str(message["session"]),
+                    _decode_chunk(message),
+                    seq=message.get("seq"),
+                )
+                return {"ok": True, **dataclasses.asdict(result)}
+            if op == "poll":
+                await self.drain()
+                events = await self.poll_events(
+                    str(message["session"]), message.get("max")
+                )
+                return {"ok": True, "events": [e.to_dict() for e in events]}
+            if op == "close":
+                await self.drain()
+                summary = await self.close_session(str(message["session"]))
+                body = dataclasses.asdict(summary)
+                body["trailing_events"] = [
+                    e.to_dict() for e in summary.trailing_events
+                ]
+                return {"ok": True, **body}
+            if op == "telemetry":
+                return {
+                    "ok": True,
+                    "telemetry": json.loads(telemetry_to_json(self.snapshot())),
+                }
+            raise ServiceError(f"unknown op {op!r}")
+        except KeyError as exc:
+            return {"ok": False, "error": f"missing field {exc}"}
+        except ReproError as exc:
+            return {"ok": False, "error": str(exc)}

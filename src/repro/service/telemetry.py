@@ -1,0 +1,189 @@
+"""Latency-SLO telemetry for the real-time detection service.
+
+Every layer of the ingest path reports into one
+:class:`ServiceTelemetry` object: sessions opened/closed, chunks
+admitted/shed/rejected, queue depth high-water marks, windows decided,
+and — the SLO core — per-chunk ingest→decision latency.  A snapshot
+reduces the samples to p50/p95/p99/max, mean, and jitter (population
+standard deviation), the numbers a latency SLO is written against.
+
+Snapshots serialize canonically (:func:`telemetry_to_json`: sorted keys,
+fixed separators, latencies rounded to microsecond precision) so tooling
+can diff two exports byte-for-byte — the same discipline
+:meth:`CohortReport.to_json` established for batch results.  The
+*values* are wall-clock measurements and therefore vary run to run; the
+*encoding* of any given snapshot never does.
+
+Thread-safety: counters and the sample ring are guarded by one lock, so
+the asyncio front-end, worker threads, and a synchronous replayer can
+share a collector.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import ServiceError
+
+__all__ = [
+    "DEFAULT_MAX_SAMPLES",
+    "LatencySummary",
+    "ServiceTelemetry",
+    "telemetry_to_json",
+]
+
+#: Latency samples retained for percentile estimation.  A bounded ring:
+#: past the cap the oldest samples roll off (the snapshot reports both
+#: the retained and the total count, so truncation is never silent).
+DEFAULT_MAX_SAMPLES = 100_000
+
+#: Snapshot schema version, bumped on any key change so tooling can
+#: detect exports it does not understand.
+SCHEMA_VERSION = 1
+
+
+class LatencySummary:
+    """Percentile reduction of a latency sample set (milliseconds)."""
+
+    __slots__ = ("count", "p50_ms", "p95_ms", "p99_ms", "mean_ms",
+                 "max_ms", "jitter_ms")
+
+    def __init__(self, samples_s: "deque[float] | list[float]") -> None:
+        arr = np.asarray(samples_s, dtype=float) * 1e3
+        self.count = int(arr.size)
+        if arr.size == 0:
+            self.p50_ms = self.p95_ms = self.p99_ms = 0.0
+            self.mean_ms = self.max_ms = self.jitter_ms = 0.0
+            return
+        p50, p95, p99 = np.percentile(arr, (50.0, 95.0, 99.0))
+        self.p50_ms = float(p50)
+        self.p95_ms = float(p95)
+        self.p99_ms = float(p99)
+        self.mean_ms = float(arr.mean())
+        self.max_ms = float(arr.max())
+        self.jitter_ms = float(arr.std())
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "p50_ms": round(self.p50_ms, 3),
+            "p95_ms": round(self.p95_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+            "mean_ms": round(self.mean_ms, 3),
+            "max_ms": round(self.max_ms, 3),
+            "jitter_ms": round(self.jitter_ms, 3),
+        }
+
+
+class ServiceTelemetry:
+    """Shared counters + latency reservoir for one service instance."""
+
+    def __init__(self, max_samples: int = DEFAULT_MAX_SAMPLES) -> None:
+        if max_samples < 1:
+            raise ServiceError(
+                f"max_samples must be >= 1, got {max_samples}"
+            )
+        self._lock = threading.Lock()
+        self._samples: deque[float] = deque(maxlen=max_samples)
+        self._latency_total = 0
+        self.sessions_opened = 0
+        self.sessions_closed = 0
+        self.sessions_active = 0
+        self.chunks_ingested = 0
+        self.chunks_processed = 0
+        self.chunks_shed = 0
+        self.chunks_rejected = 0
+        self.windows_decided = 0
+        self.queue_depth = 0
+        self.queue_high_water = 0
+
+    # ------------------------------------------------------------------
+    def session_opened(self) -> None:
+        with self._lock:
+            self.sessions_opened += 1
+            self.sessions_active += 1
+
+    def session_closed(self) -> None:
+        with self._lock:
+            self.sessions_closed += 1
+            self.sessions_active -= 1
+
+    def chunk_ingested(self, queue_depth: int) -> None:
+        """One chunk admitted; ``queue_depth`` is the session queue's
+        depth *after* admission (drives the high-water mark)."""
+        with self._lock:
+            self.chunks_ingested += 1
+            self.queue_depth += 1
+            self.queue_high_water = max(self.queue_high_water, queue_depth)
+
+    def chunk_rejected(self) -> None:
+        with self._lock:
+            self.chunks_rejected += 1
+
+    def chunks_dropped(self, n: int) -> None:
+        """``n`` queued chunks shed under the shed-oldest policy."""
+        with self._lock:
+            self.chunks_shed += n
+            self.queue_depth -= n
+
+    def chunk_decided(self, latency_s: float, n_windows: int) -> None:
+        """One queued chunk fully processed: ingest→decision latency
+        plus the number of windows it completed."""
+        with self._lock:
+            self.chunks_processed += 1
+            self.queue_depth -= 1
+            self.windows_decided += n_windows
+            self._samples.append(latency_s)
+            self._latency_total += 1
+
+    # ------------------------------------------------------------------
+    def latency(self) -> LatencySummary:
+        with self._lock:
+            return LatencySummary(list(self._samples))
+
+    def snapshot(self) -> dict:
+        """Point-in-time plain-data export of every counter.
+
+        The layout is flat dict-of-dicts with stable keys; see
+        :func:`telemetry_to_json` for the canonical byte encoding.
+        """
+        with self._lock:
+            latency = LatencySummary(list(self._samples))
+            return {
+                "schema": SCHEMA_VERSION,
+                "sessions": {
+                    "opened": self.sessions_opened,
+                    "closed": self.sessions_closed,
+                    "active": self.sessions_active,
+                },
+                "chunks": {
+                    "ingested": self.chunks_ingested,
+                    "processed": self.chunks_processed,
+                    "shed": self.chunks_shed,
+                    "rejected": self.chunks_rejected,
+                },
+                "windows": {"decided": self.windows_decided},
+                "queue": {
+                    "depth": self.queue_depth,
+                    "high_water": self.queue_high_water,
+                },
+                "latency": dict(
+                    latency.to_dict(),
+                    total=self._latency_total,
+                ),
+            }
+
+
+def telemetry_to_json(snapshot: dict) -> str:
+    """Canonical byte encoding of a telemetry snapshot.
+
+    Sorted keys and fixed separators, like every other canonical JSON in
+    this repository: two identical snapshots always produce identical
+    bytes, so ``repro replay --json`` output is diff- and cache-friendly
+    for tooling.
+    """
+    return json.dumps(snapshot, sort_keys=True, separators=(",", ":"))

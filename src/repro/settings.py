@@ -1,0 +1,191 @@
+"""One documented home for every ``REPRO_*`` environment knob.
+
+The knobs grew organically, one module at a time: the kernel registry
+reads :envvar:`REPRO_KERNEL_BACKEND`, the engine reads
+:envvar:`REPRO_ENGINE_EXECUTOR`, the sampling protocol reads
+:envvar:`REPRO_SAMPLES_PER_SEIZURE` / :envvar:`REPRO_PAPER_DURATIONS`,
+and the real-time service adds :envvar:`REPRO_SERVICE_QUEUE_DEPTH` /
+:envvar:`REPRO_SERVICE_BACKPRESSURE`.  :class:`ReproSettings` resolves
+them all in one place — through the *same* validating parsers each
+subsystem uses, so a bad value fails identically whether it is read here
+or at the point of use — and is threaded as the default-provider into
+:class:`~repro.engine.executor.CohortEngine` (``settings=``) and
+:meth:`~repro.service.config.ServiceConfig.from_settings`.
+
+``ReproSettings.from_env()`` is a snapshot: it captures the environment
+once, so a long-lived process (the detection service) keeps consistent
+configuration even if the environment mutates underneath it.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import asdict, dataclass
+from typing import Mapping
+
+from .exceptions import ServiceError
+
+__all__ = [
+    "ENV_SERVICE_QUEUE_DEPTH",
+    "ENV_SERVICE_BACKPRESSURE",
+    "BACKPRESSURE_POLICIES",
+    "DEFAULT_QUEUE_DEPTH",
+    "ReproSettings",
+]
+
+#: Bounded per-session ingest queue depth of the detection service.
+ENV_SERVICE_QUEUE_DEPTH = "REPRO_SERVICE_QUEUE_DEPTH"
+#: Backpressure policy when a session's ingest queue is full.
+ENV_SERVICE_BACKPRESSURE = "REPRO_SERVICE_BACKPRESSURE"
+
+#: ``reject`` refuses the new chunk (the caller sees a rejected
+#: IngestResult / BackpressureError); ``shed-oldest`` drops the oldest
+#: *queued* chunk to admit the new one, with the shed count surfaced in
+#: the result and telemetry — never a silent drop.
+BACKPRESSURE_POLICIES = ("reject", "shed-oldest")
+
+DEFAULT_QUEUE_DEPTH = 64
+
+
+def _queue_depth_from(env: Mapping[str, str]) -> int:
+    raw = env.get(ENV_SERVICE_QUEUE_DEPTH, "").strip()
+    if not raw:
+        return DEFAULT_QUEUE_DEPTH
+    try:
+        depth = int(raw)
+    except ValueError:
+        raise ServiceError(
+            f"{ENV_SERVICE_QUEUE_DEPTH} must be an integer, got {raw!r}"
+        ) from None
+    if depth < 1:
+        raise ServiceError(
+            f"{ENV_SERVICE_QUEUE_DEPTH} must be >= 1, got {depth}"
+        )
+    return depth
+
+
+def _backpressure_from(env: Mapping[str, str]) -> str:
+    raw = env.get(ENV_SERVICE_BACKPRESSURE, "").strip().lower()
+    if not raw:
+        return "reject"
+    if raw not in BACKPRESSURE_POLICIES:
+        raise ServiceError(
+            f"{ENV_SERVICE_BACKPRESSURE} must be one of "
+            f"{BACKPRESSURE_POLICIES}, got {raw!r}"
+        )
+    return raw
+
+
+@dataclass(frozen=True)
+class ReproSettings:
+    """A resolved snapshot of every ``REPRO_*`` environment knob.
+
+    Attributes
+    ----------
+    kernel_backend:
+        :envvar:`REPRO_KERNEL_BACKEND` — ``None`` when unset (the
+        registry then picks its default preference order).
+    engine_executor:
+        :envvar:`REPRO_ENGINE_EXECUTOR` resolved to a concrete kind
+        (``process`` when unset).
+    samples_per_seizure:
+        :envvar:`REPRO_SAMPLES_PER_SEIZURE` — ``None`` when unset, so
+        each caller keeps its own documented fallback (the CLI's 1, the
+        benchmarks' 3, ``--paper-scale``'s 100).
+    paper_durations:
+        :envvar:`REPRO_PAPER_DURATIONS` as a boolean: record durations
+        default to the paper's 30-60 minutes when true.
+    service_queue_depth / service_backpressure:
+        The real-time service's bounded ingest queue depth and
+        full-queue policy (see :data:`BACKPRESSURE_POLICIES`).
+    """
+
+    kernel_backend: str | None = None
+    engine_executor: str = "process"
+    samples_per_seizure: int | None = None
+    paper_durations: bool = False
+    service_queue_depth: int = DEFAULT_QUEUE_DEPTH
+    service_backpressure: str = "reject"
+
+    def __post_init__(self) -> None:
+        if self.service_queue_depth < 1:
+            raise ServiceError(
+                f"service_queue_depth must be >= 1, got "
+                f"{self.service_queue_depth}"
+            )
+        if self.service_backpressure not in BACKPRESSURE_POLICIES:
+            raise ServiceError(
+                f"service_backpressure must be one of "
+                f"{BACKPRESSURE_POLICIES}, got {self.service_backpressure!r}"
+            )
+
+    @classmethod
+    def from_env(cls, env: Mapping[str, str] | None = None) -> "ReproSettings":
+        """Resolve every knob from ``env`` (default: ``os.environ``).
+
+        Delegates to the canonical per-subsystem parsers, so validation
+        behavior (which raw values raise, and with what message) is
+        defined exactly once.  The imports are local to keep this module
+        a leaf the rest of the package can import freely.
+        """
+        from .data.sampling import (
+            ENV_SAMPLES,
+            PAPER_DURATION_RANGE_S,
+            duration_range_from_env,
+            samples_per_seizure_from_env,
+        )
+        from .engine.executor import default_executor
+        from .kernels.registry import kernel_backend_from_env
+
+        if env is None:
+            env = os.environ
+            kernel = kernel_backend_from_env()
+            executor = default_executor()
+            samples = (
+                samples_per_seizure_from_env(0)
+                if env.get(ENV_SAMPLES, "")
+                else None
+            )
+            # The sentinel default cannot equal the paper range, so the
+            # resolver's return value doubles as the boolean.
+            paper = (
+                duration_range_from_env((0.0, 0.0)) == PAPER_DURATION_RANGE_S
+            )
+        else:
+            # The canonical parsers read os.environ; for an explicit
+            # mapping (tests, frozen snapshots) run them under a patched
+            # view without mutating the process environment.
+            import unittest.mock
+
+            with unittest.mock.patch.dict(os.environ, env, clear=True):
+                return cls.from_env(None)
+        return cls(
+            kernel_backend=kernel,
+            engine_executor=executor,
+            samples_per_seizure=samples,
+            paper_durations=paper,
+            service_queue_depth=_queue_depth_from(env),
+            service_backpressure=_backpressure_from(env),
+        )
+
+    # ------------------------------------------------------------------
+    def resolve_samples(self, default: int) -> int:
+        """Samples per seizure: the env knob, else the caller's default."""
+        return (
+            self.samples_per_seizure
+            if self.samples_per_seizure is not None
+            else default
+        )
+
+    def resolve_duration_range(
+        self, default: tuple[float, float]
+    ) -> tuple[float, float]:
+        """Record duration range: the paper's 30-60 min when
+        ``paper_durations`` is set, else the caller's default."""
+        from .data.sampling import PAPER_DURATION_RANGE_S
+
+        return PAPER_DURATION_RANGE_S if self.paper_durations else default
+
+    def to_dict(self) -> dict:
+        """Plain-data view (for ``repro``'s diagnostics and tooling)."""
+        return asdict(self)

@@ -1,5 +1,7 @@
 """Tests for the command-line interface (``python -m repro``)."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main, resolve_cohort_scale
@@ -850,3 +852,67 @@ class TestShardCLI:
     def test_shard_requires_subcommand(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["shard"])
+
+
+class TestReplay:
+    SCALE = ["--patient", "1", "--duration-min", "5", "--duration-max", "6"]
+
+    def test_human_rollup(self, capsys):
+        code = main(["replay", *self.SCALE])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "replayed" in out and "unpaced" in out
+        assert "decisions:" in out
+        assert "p50" in out and "p99" in out
+
+    def test_json_is_byte_stable(self, capsys):
+        code = main(["replay", *self.SCALE, "--json"])
+        first = capsys.readouterr().out
+        assert code == 0
+        code = main(["replay", *self.SCALE, "--json"])
+        second = capsys.readouterr().out
+        assert code == 0
+        assert first == second
+        body = json.loads(first)
+        assert body["replay"]["windows"] > 0
+        assert body["telemetry"]["chunks"]["ingested"] == body["replay"]["chunks"]
+        # Wall-clock numbers are excluded from the stable output.
+        assert "wall_s" not in body["replay"]
+        assert "latency" not in body["telemetry"]
+
+    def test_invalid_duration_range_errors(self, capsys):
+        code = main(["replay", "--duration-min", "10", "--duration-max", "5"])
+        assert code == 2
+        assert "duration" in capsys.readouterr().err
+
+    def test_invalid_backpressure_rejected_by_parser(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--backpressure", "drop"])
+
+    def test_unknown_patient_errors(self, capsys):
+        code = main(["replay", "--patient", "99", *self.SCALE[2:]])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestServe:
+    def test_max_seconds_smoke_json(self, capsys):
+        code = main(["serve", "--max-seconds", "0.2", "--json"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "listening on 127.0.0.1:" in out
+        snapshot = json.loads(out.splitlines()[-1])
+        assert snapshot["sessions"] == {"opened": 0, "closed": 0, "active": 0}
+        assert "latency" not in snapshot
+
+    def test_max_seconds_smoke_human(self, capsys):
+        code = main(["serve", "--max-seconds", "0.2", "--queue-depth", "4"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "queue depth 4" in out
+        assert "served 0 session(s)" in out
+
+    def test_invalid_max_seconds_errors(self, capsys):
+        code = main(["serve", "--max-seconds", "-1"])
+        assert code == 2
+        assert "--max-seconds" in capsys.readouterr().err

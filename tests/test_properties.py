@@ -106,8 +106,18 @@ class TestAlgorithmProperties:
         x = np.random.default_rng(seed).standard_normal((length, n_feat))
         ref = a_posteriori_reference(x, window, grid_step=grid_step)
         fast = a_posteriori_fast(x, window, grid_step=grid_step)
-        assert fast.position == ref.position
         assert np.allclose(fast.distances, ref.distances, atol=1e-9)
+        if fast.position != ref.position:
+            # The two implementations accumulate in different orders, so
+            # their distances differ in the last float bits; when maxima
+            # are numerically tied (e.g. window ~ signal length), argmax
+            # may land on different tied candidates.  Divergence is only
+            # legal across such ties.
+            assert np.isclose(
+                ref.distances[fast.position],
+                ref.distances[ref.position],
+                atol=1e-9,
+            )
 
     @given(seed=st.integers(min_value=0, max_value=2**31))
     @settings(max_examples=20, deadline=None)

@@ -1,0 +1,269 @@
+"""DetectionService: async ingest, backpressure propagation, the socket
+protocol, and service-vs-batch parity through the async path."""
+
+import asyncio
+import base64
+import json
+import struct
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    DetectionService,
+    ServiceConfig,
+    SessionManager,
+    batch_window_decisions,
+)
+
+FS = 256
+_LEN = struct.Struct(">I")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def request(reader, writer, message):
+    payload = json.dumps(message).encode()
+    writer.write(_LEN.pack(len(payload)) + payload)
+    await writer.drain()
+    (length,) = _LEN.unpack(await reader.readexactly(_LEN.size))
+    return json.loads(await reader.readexactly(length))
+
+
+def chunk_frame(session, seq, chunk):
+    chunk = np.ascontiguousarray(chunk, dtype=np.float64)
+    return {
+        "op": "chunk",
+        "session": session,
+        "seq": seq,
+        "shape": list(chunk.shape),
+        "data": base64.b64encode(chunk.tobytes()).decode(),
+    }
+
+
+class TestInProcessAsync:
+    def test_ingest_poll_close_matches_batch(self, sample_record):
+        batch = batch_window_decisions(sample_record)
+
+        async def go():
+            # ~86 chunks may all be admitted before the consumer task
+            # gets scheduled, so the queue must hold the whole record.
+            config = ServiceConfig(queue_depth=128)
+            async with DetectionService(config) as service:
+                await service.open_session("p")
+                step = 4 * FS
+                for seq, lo in enumerate(
+                    range(0, sample_record.n_samples, step)
+                ):
+                    result = await service.ingest(
+                        "p", sample_record.data[:, lo : lo + step], seq=seq
+                    )
+                    assert result.accepted
+                await service.drain()
+                events = await service.poll_events("p")
+                summary = await service.close_session("p")
+                return events, summary
+
+        events, summary = run(go())
+        assert events == batch
+        assert summary.error is None
+        assert summary.windows == len(batch)
+
+    def test_backpressure_reaches_async_caller(self):
+        # No consumer running: the queue can only fill.
+        config = ServiceConfig(queue_depth=1, backpressure="reject")
+
+        async def go():
+            service = DetectionService(config)
+            await service.open_session("p")
+            first = await service.ingest("p", np.zeros((2, FS)))
+            second = await service.ingest("p", np.zeros((2, FS)))
+            return first, second
+
+        first, second = run(go())
+        assert first.accepted
+        assert not second.accepted
+        assert "reject" in second.reason
+
+    def test_config_and_manager_are_exclusive(self):
+        with pytest.raises(ServiceError):
+            DetectionService(ServiceConfig(), SessionManager())
+
+    def test_external_manager_is_used(self):
+        manager = SessionManager()
+
+        async def go():
+            async with DetectionService(manager=manager) as service:
+                await service.open_session("p")
+                await service.ingest("p", np.zeros((2, 5 * FS)))
+                await service.drain()
+                return await service.close_session("p")
+
+        summary = run(go())
+        assert summary.windows == 2
+        assert manager.snapshot()["sessions"]["opened"] == 1
+
+    def test_stop_drains_outstanding_chunks(self):
+        async def go():
+            service = DetectionService()
+            await service.start()
+            await service.open_session("p")
+            await service.ingest("p", np.zeros((2, 6 * FS)))
+            await service.stop()  # must decide the queued chunk first
+            return service.manager.poll_events("p")
+
+        events = run(go())
+        assert len(events) == 3
+
+
+class TestSocketProtocol:
+    def test_full_round_trip(self, sample_record):
+        n = 20 * FS  # 20 s slice keeps the socket test quick
+        expected = [
+            d.to_dict() for d in batch_window_decisions(
+                type(sample_record)(
+                    data=sample_record.data[:, :n], fs=sample_record.fs
+                )
+            )
+        ]
+
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    opened = await request(
+                        reader, writer, {"op": "open", "session": "p"}
+                    )
+                    assert opened == {"ok": True, "session": "p"}
+                    for seq in range(4):
+                        lo = seq * 5 * FS
+                        reply = await request(
+                            reader,
+                            writer,
+                            chunk_frame(
+                                "p", seq, sample_record.data[:, lo : lo + 5 * FS]
+                            ),
+                        )
+                        assert reply["ok"] and reply["accepted"]
+                    polled = await request(
+                        reader, writer, {"op": "poll", "session": "p"}
+                    )
+                    closed = await request(
+                        reader, writer, {"op": "close", "session": "p"}
+                    )
+                    telemetry = await request(
+                        reader, writer, {"op": "telemetry"}
+                    )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return polled, closed, telemetry
+
+        polled, closed, telemetry = run(go())
+        assert polled["ok"]
+        assert polled["events"] + closed["trailing_events"] == expected
+        assert closed["ok"] and closed["windows"] == len(expected)
+        assert closed["error"] is None
+        assert telemetry["telemetry"]["chunks"]["ingested"] == 4
+
+    def test_error_frames_do_not_kill_connection(self):
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    bad_op = await request(reader, writer, {"op": "bogus"})
+                    missing = await request(reader, writer, {"op": "open"})
+                    unknown = await request(
+                        reader, writer, {"op": "poll", "session": "ghost"}
+                    )
+                    ok = await request(
+                        reader, writer, {"op": "open", "session": "p"}
+                    )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return bad_op, missing, unknown, ok
+
+        bad_op, missing, unknown, ok = run(go())
+        assert not bad_op["ok"] and "bogus" in bad_op["error"]
+        assert not missing["ok"] and "session" in missing["error"]
+        assert not unknown["ok"] and "ghost" in unknown["error"]
+        assert ok["ok"]
+
+    def test_out_of_order_seq_is_error_frame(self):
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    await request(reader, writer, {"op": "open", "session": "p"})
+                    await request(
+                        reader, writer, chunk_frame("p", 0, np.zeros((2, FS)))
+                    )
+                    reply = await request(
+                        reader, writer, chunk_frame("p", 5, np.zeros((2, FS)))
+                    )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return reply
+
+        reply = run(go())
+        assert not reply["ok"]
+        assert "out-of-order" in reply["error"]
+
+    def test_bad_chunk_payload_is_error_frame(self):
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    await request(reader, writer, {"op": "open", "session": "p"})
+                    reply = await request(
+                        reader,
+                        writer,
+                        {
+                            "op": "chunk",
+                            "session": "p",
+                            "shape": [2, 100],
+                            "data": base64.b64encode(b"short").decode(),
+                        },
+                    )
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return reply
+
+        reply = run(go())
+        assert not reply["ok"]
+        assert "bytes" in reply["error"]
+
+    def test_oversized_frame_closes_connection(self):
+        from repro.service.ingest import MAX_FRAME_BYTES
+
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    writer.write(_LEN.pack(MAX_FRAME_BYTES + 1))
+                    await writer.drain()
+                    (length,) = _LEN.unpack(
+                        await reader.readexactly(_LEN.size)
+                    )
+                    reply = json.loads(await reader.readexactly(length))
+                    eof = await reader.read(1)
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return reply, eof
+
+        reply, eof = run(go())
+        assert not reply["ok"]
+        assert "limit" in reply["error"]
+        assert eof == b""  # server hung up after the protocol violation

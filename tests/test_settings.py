@@ -1,0 +1,135 @@
+"""ReproSettings: one snapshot for every REPRO_* environment knob."""
+
+import pytest
+
+from repro.data.sampling import PAPER_DURATION_RANGE_S
+from repro.exceptions import EngineError, ServiceError
+from repro.service import ServiceConfig
+from repro.settings import (
+    DEFAULT_QUEUE_DEPTH,
+    ENV_SERVICE_BACKPRESSURE,
+    ENV_SERVICE_QUEUE_DEPTH,
+    ReproSettings,
+)
+
+
+class TestDefaults:
+    def test_empty_env_gives_defaults(self):
+        settings = ReproSettings.from_env({})
+        assert settings.kernel_backend is None
+        assert settings.engine_executor == "process"
+        assert settings.samples_per_seizure is None
+        assert settings.paper_durations is False
+        assert settings.service_queue_depth == DEFAULT_QUEUE_DEPTH
+        assert settings.service_backpressure == "reject"
+
+    def test_to_dict(self):
+        body = ReproSettings.from_env({}).to_dict()
+        assert body["engine_executor"] == "process"
+        assert body["service_queue_depth"] == DEFAULT_QUEUE_DEPTH
+
+
+class TestFromEnv:
+    def test_resolves_every_knob(self):
+        settings = ReproSettings.from_env(
+            {
+                "REPRO_KERNEL_BACKEND": "reference",
+                "REPRO_ENGINE_EXECUTOR": "thread",
+                "REPRO_SAMPLES_PER_SEIZURE": "7",
+                "REPRO_PAPER_DURATIONS": "1",
+                ENV_SERVICE_QUEUE_DEPTH: "16",
+                ENV_SERVICE_BACKPRESSURE: "shed-oldest",
+            }
+        )
+        assert settings.kernel_backend == "reference"
+        assert settings.engine_executor == "thread"
+        assert settings.samples_per_seizure == 7
+        assert settings.paper_durations is True
+        assert settings.service_queue_depth == 16
+        assert settings.service_backpressure == "shed-oldest"
+
+    def test_reads_process_environment_by_default(self, monkeypatch):
+        monkeypatch.setenv(ENV_SERVICE_QUEUE_DEPTH, "5")
+        monkeypatch.setenv("REPRO_ENGINE_EXECUTOR", "serial")
+        settings = ReproSettings.from_env()
+        assert settings.service_queue_depth == 5
+        assert settings.engine_executor == "serial"
+
+    def test_snapshot_does_not_track_later_env_changes(self, monkeypatch):
+        monkeypatch.setenv(ENV_SERVICE_QUEUE_DEPTH, "5")
+        settings = ReproSettings.from_env()
+        monkeypatch.setenv(ENV_SERVICE_QUEUE_DEPTH, "99")
+        assert settings.service_queue_depth == 5
+
+    def test_bad_queue_depth_raises(self):
+        with pytest.raises(ServiceError):
+            ReproSettings.from_env({ENV_SERVICE_QUEUE_DEPTH: "zero"})
+        with pytest.raises(ServiceError):
+            ReproSettings.from_env({ENV_SERVICE_QUEUE_DEPTH: "0"})
+
+    def test_bad_backpressure_raises(self):
+        with pytest.raises(ServiceError):
+            ReproSettings.from_env({ENV_SERVICE_BACKPRESSURE: "drop"})
+
+    def test_bad_executor_uses_canonical_parser(self):
+        with pytest.raises(EngineError):
+            ReproSettings.from_env({"REPRO_ENGINE_EXECUTOR": "gpu"})
+
+
+class TestValidation:
+    def test_direct_construction_validates(self):
+        with pytest.raises(ServiceError):
+            ReproSettings(service_queue_depth=0)
+        with pytest.raises(ServiceError):
+            ReproSettings(service_backpressure="drop")
+
+
+class TestResolvers:
+    def test_resolve_samples(self):
+        assert ReproSettings().resolve_samples(3) == 3
+        assert ReproSettings(samples_per_seizure=9).resolve_samples(3) == 9
+
+    def test_resolve_duration_range(self):
+        default = (300.0, 360.0)
+        assert ReproSettings().resolve_duration_range(default) == default
+        assert (
+            ReproSettings(paper_durations=True).resolve_duration_range(default)
+            == PAPER_DURATION_RANGE_S
+        )
+
+
+class TestThreading:
+    def test_engine_uses_settings_executor(self, dataset):
+        from repro.engine import CohortEngine
+
+        engine = CohortEngine(
+            dataset, settings=ReproSettings(engine_executor="thread")
+        )
+        assert engine.executor == "thread"
+        # An explicit kind still wins over the snapshot.
+        engine = CohortEngine(
+            dataset,
+            executor="serial",
+            settings=ReproSettings(engine_executor="thread"),
+        )
+        assert engine.executor == "serial"
+
+    def test_service_config_from_settings(self):
+        settings = ReproSettings(
+            service_queue_depth=4, service_backpressure="shed-oldest"
+        )
+        config = ServiceConfig.from_settings(settings)
+        assert config.queue_depth == 4
+        assert config.backpressure == "shed-oldest"
+        # Overrides win over the snapshot.
+        config = ServiceConfig.from_settings(settings, queue_depth=2)
+        assert config.queue_depth == 2
+        assert config.backpressure == "shed-oldest"
+
+    def test_service_config_from_env_snapshot(self):
+        settings = ReproSettings.from_env(
+            {ENV_SERVICE_QUEUE_DEPTH: "3", ENV_SERVICE_BACKPRESSURE: "reject"}
+        )
+        config = ServiceConfig.from_settings(settings)
+        assert config.queue_depth == 3
+        assert config.backpressure == "reject"
