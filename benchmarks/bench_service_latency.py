@@ -11,16 +11,24 @@ the per-chunk ingest→decision latency distribution, in two shapes:
 * **fleet** — many concurrent sessions fed round-robin with 1 s chunks,
   drained by one consumer pass per round: chunks experience real queue
   wait, the telemetry's p95/p99 reflect a loaded service.
+* **workers-N** — the same concurrent-session load pushed through a
+  :class:`~repro.service.fleet.ServiceShardPool` of N worker
+  *processes* (4 s chunks to amortize the IPC frame cost), run at
+  ``workers=1`` and ``workers=4`` so the pair measures multi-process
+  scaling; the pool's merged + per-shard telemetry lands in a second
+  artifact (``--fleet-out``).
 
-Both shapes assert the byte-parity contract first — the replayed
+Every shape asserts the byte-parity contract first — the streamed
 decision stream must equal
 :func:`~repro.service.session.batch_window_decisions` on the
-materialized record — so the benchmark can never report a latency for
-detections that are wrong.
+materialized record — so the benchmark can never report a latency (or a
+speedup) for detections that are wrong.
 
 ``--check`` enforces the CI SLO (p50/p99 bounds, deliberately generous:
 the point is catching order-of-magnitude regressions, not micro-drift);
-the full telemetry snapshot lands in ``--out`` for artifact upload.
+on hosts with >= 4 CPU cores it additionally requires the 4-worker pool
+to reach at least 2x the 1-worker throughput with a no-worse p99.  The
+full telemetry snapshot lands in ``--out`` for artifact upload.
 
 Usage::
 
@@ -33,14 +41,39 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from pathlib import Path
 
 #: Full scale: a 30-minute record and a 32-session fleet.
-FULL = {"minutes": 30.0, "sessions": 32, "fleet_rounds": 120}
+FULL = {
+    "minutes": 30.0,
+    "sessions": 32,
+    "fleet_rounds": 120,
+    "pool_sessions": 16,
+    "pool_rounds": 60,
+}
 #: Quick scale for the CI smoke job.
-QUICK = {"minutes": 5.0, "sessions": 8, "fleet_rounds": 40}
+QUICK = {
+    "minutes": 5.0,
+    "sessions": 8,
+    "fleet_rounds": 40,
+    "pool_sessions": 8,
+    "pool_rounds": 40,
+}
+
+#: Worker counts for the multi-process scaling pair.
+POOL_WORKERS = (1, 4)
+#: Scaling floor: on a >= 4-core host, 4 worker shards must at least
+#: double 1-shard throughput (a true 4x is never reachable — the parent
+#: still encodes/routes every frame — but < 2x means process sharding
+#: is not actually buying parallelism).
+POOL_MIN_SPEEDUP = 2.0
+#: p99 grace when comparing 4-worker vs 1-worker tail latency: "no
+#: worse" up to runner jitter (whichever is larger of +5 ms or +10 %).
+POOL_P99_GRACE_MS = 5.0
+POOL_P99_GRACE_FRAC = 0.10
 
 #: CI latency SLO (milliseconds).  Generous floors: a 1 s chunk of
 #: 2-channel 256 Hz signal costs ~1 ms to featurize and score, so these
@@ -51,6 +84,9 @@ SLO_SINGLE_P99_MS = 250.0
 SLO_FLEET_P99_MS = 1000.0
 
 DEFAULT_OUT = Path(__file__).parent / "results" / "service_latency.json"
+DEFAULT_FLEET_OUT = (
+    Path(__file__).parent / "results" / "service_fleet_telemetry.json"
+)
 
 
 def bench_single(minutes: float) -> dict:
@@ -132,6 +168,116 @@ def bench_fleet(minutes: float, sessions: int, rounds: int) -> dict:
     }
 
 
+def bench_pool(
+    minutes: float, sessions: int, rounds: int, workers: int
+) -> dict:
+    """Concurrent sessions through a ``workers``-process shard pool.
+
+    4 s chunks (vs the in-process fleet's 1 s) amortize the per-frame
+    IPC cost so the measurement reflects shard compute scaling, not
+    JSON framing overhead.  A parity probe streams the whole record
+    through one pooled session first — the pool may not be measured
+    while its decisions differ from the batch pipeline's.
+    """
+    import asyncio
+
+    import numpy as np
+
+    from repro.data.dataset import SyntheticEEGDataset
+    from repro.service import (
+        ServiceConfig,
+        ServiceShardPool,
+        batch_window_decisions,
+        shard_index_of,
+    )
+
+    dataset = SyntheticEEGDataset(
+        duration_range_s=(minutes * 60.0, minutes * 60.0 + 60.0)
+    )
+    record = dataset.sample_source(1, 0, 0).materialize()
+    fs = int(record.fs)
+    step = 4 * fs
+    batch = batch_window_decisions(record)
+
+    # Pick session ids balanced across shards: the scaling number must
+    # measure N busy workers, not a hash fluke idling half the pool.
+    quota = -(-sessions // workers)  # ceil
+    per_shard = [0] * workers
+    ids: list[str] = []
+    candidate = 0
+    while len(ids) < sessions:
+        session_id = f"pool-{candidate:04d}"
+        candidate += 1
+        shard = shard_index_of(session_id, workers)
+        if per_shard[shard] < quota:
+            per_shard[shard] += 1
+            ids.append(session_id)
+
+    async def go() -> tuple[float, dict]:
+        config = ServiceConfig(
+            workers=workers, queue_depth=max(64, rounds + 8)
+        )
+        async with ServiceShardPool(config) as pool:
+            # Parity probe (untimed): one full record, 4 s chunks.
+            await pool.open_session("parity")
+            for seq, lo in enumerate(range(0, record.n_samples, step)):
+                result = await pool.ingest(
+                    "parity", record.data[:, lo : lo + step], seq=seq
+                )
+                if not result.accepted:
+                    raise AssertionError(
+                        f"parity probe rejected at chunk {seq}"
+                    )
+            streamed = await pool.poll_events("parity")
+            streamed += list(
+                (await pool.close_session("parity")).trailing_events
+            )
+            if streamed != batch:
+                raise AssertionError(
+                    f"pool/batch parity violated at workers={workers}: "
+                    f"{len(streamed)} streamed vs {len(batch)} batch "
+                    f"decisions"
+                )
+
+            for session_id in ids:
+                await pool.open_session(session_id)
+            start = time.perf_counter()
+            for rnd in range(rounds):
+                lo = (rnd * step) % max(1, record.n_samples - step)
+                chunk = np.ascontiguousarray(record.data[:, lo : lo + step])
+                results = await asyncio.gather(
+                    *(pool.ingest(session_id, chunk) for session_id in ids)
+                )
+                for result in results:
+                    if not result.accepted:
+                        raise AssertionError(
+                            f"pool ingest rejected at round {rnd}: "
+                            f"{result.reason}"
+                        )
+            await pool.drain()
+            elapsed = time.perf_counter() - start
+            merged = await pool.snapshot()
+        return elapsed, merged
+
+    elapsed, merged = asyncio.run(go())
+    chunks = sessions * rounds
+    return {
+        "shape": f"workers-{workers}",
+        "workers": workers,
+        "sessions": sessions,
+        "rounds": rounds,
+        "chunks": chunks,
+        # Load-phase windows only (the parity probe's are excluded).
+        "windows": merged["windows"]["decided"] - len(batch),
+        "parity": "byte-identical",
+        "elapsed_s": round(elapsed, 3),
+        "throughput_chunks_per_s": round(chunks / elapsed, 1),
+        "media_s_per_s": round(chunks * 4.0 / elapsed, 1),
+        "latency": merged["latency"],
+        "telemetry": merged,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--quick", action="store_true", help="CI scale")
@@ -148,12 +294,22 @@ def main(argv: list[str] | None = None) -> int:
         default=DEFAULT_OUT,
         help=f"telemetry JSON destination (default {DEFAULT_OUT})",
     )
+    parser.add_argument(
+        "--fleet-out",
+        type=Path,
+        default=DEFAULT_FLEET_OUT,
+        help="merged + per-shard pool telemetry destination "
+        f"(default {DEFAULT_FLEET_OUT})",
+    )
     args = parser.parse_args(argv)
 
     scale = QUICK if args.quick else FULL
     print(
         f"scale: {scale['minutes']:g} min record, {scale['sessions']} "
-        f"fleet sessions x {scale['fleet_rounds']} rounds"
+        f"fleet sessions x {scale['fleet_rounds']} rounds, "
+        f"{scale['pool_sessions']} pool sessions x "
+        f"{scale['pool_rounds']} rounds at workers "
+        f"{'/'.join(str(w) for w in POOL_WORKERS)}"
     )
     results = [
         bench_single(scale["minutes"]),
@@ -161,21 +317,56 @@ def main(argv: list[str] | None = None) -> int:
             scale["minutes"], scale["sessions"], scale["fleet_rounds"]
         ),
     ]
+    pool_legs = {}
+    for workers in POOL_WORKERS:
+        leg = bench_pool(
+            scale["minutes"],
+            scale["pool_sessions"],
+            scale["pool_rounds"],
+            workers,
+        )
+        pool_legs[workers] = leg
+        results.append(leg)
     for r in results:
         lat = r["latency"]
+        throughput = (
+            f", {r['throughput_chunks_per_s']:g} chunks/s"
+            if "throughput_chunks_per_s" in r
+            else ""
+        )
         print(
-            f"{r['shape']:>7}: {r['chunks']} chunks -> {r['windows']} "
-            f"windows in {r['elapsed_s']:.2f} s | ingest->decision "
+            f"{r['shape']:>9}: {r['chunks']} chunks -> {r['windows']} "
+            f"windows in {r['elapsed_s']:.2f} s{throughput} | "
+            f"ingest->decision "
             f"p50 {lat['p50_ms']:.3f} ms, p95 {lat['p95_ms']:.3f} ms, "
             f"p99 {lat['p99_ms']:.3f} ms, jitter {lat['jitter_ms']:.3f} ms"
         )
 
     args.out.parent.mkdir(parents=True, exist_ok=True)
-    body = {"quick": args.quick, "results": results}
+    body = {
+        "quick": args.quick,
+        "results": [
+            {k: v for k, v in r.items() if k != "telemetry"}
+            for r in results
+        ],
+    }
     args.out.write_text(
         json.dumps(body, sort_keys=True, separators=(",", ":"))
     )
     print(f"telemetry written to {args.out}")
+
+    args.fleet_out.parent.mkdir(parents=True, exist_ok=True)
+    args.fleet_out.write_text(
+        json.dumps(
+            {
+                f"workers-{workers}": leg["telemetry"]
+                for workers, leg in pool_legs.items()
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+    )
+    print(f"pool telemetry (merged + per shard) written to {args.fleet_out}")
 
     if args.check:
         single, fleet = results[0]["latency"], results[1]["latency"]
@@ -195,6 +386,38 @@ def main(argv: list[str] | None = None) -> int:
                 f"fleet p99 {fleet['p99_ms']:.3f} ms > "
                 f"{SLO_FLEET_P99_MS:g} ms"
             )
+        cores = os.cpu_count() or 1
+        if cores >= 4:
+            slow, fast = pool_legs[1], pool_legs[4]
+            speedup = (
+                fast["throughput_chunks_per_s"]
+                / slow["throughput_chunks_per_s"]
+            )
+            if speedup < POOL_MIN_SPEEDUP:
+                failures.append(
+                    f"4-worker pool speedup {speedup:.2f}x < "
+                    f"{POOL_MIN_SPEEDUP:g}x over 1 worker"
+                )
+            p99_slow = slow["latency"]["p99_ms"]
+            p99_fast = fast["latency"]["p99_ms"]
+            grace = max(POOL_P99_GRACE_MS, p99_slow * POOL_P99_GRACE_FRAC)
+            if p99_fast > p99_slow + grace:
+                failures.append(
+                    f"4-worker p99 {p99_fast:.3f} ms worse than 1-worker "
+                    f"p99 {p99_slow:.3f} ms (+{grace:.3f} ms grace)"
+                )
+            scaling_note = (
+                f", pool speedup {speedup:.2f}x "
+                f"(p99 {p99_slow:.3f} -> {p99_fast:.3f} ms)"
+            )
+        else:
+            scaling_note = (
+                f", pool scaling floor skipped ({cores} core(s) < 4)"
+            )
+            print(
+                f"note: {cores} CPU core(s) — the >= {POOL_MIN_SPEEDUP:g}x "
+                f"4-worker scaling floor needs >= 4 cores and was skipped"
+            )
         if failures:
             for failure in failures:
                 print(f"FAIL: {failure}", file=sys.stderr)
@@ -202,7 +425,7 @@ def main(argv: list[str] | None = None) -> int:
         print(
             f"OK: single p50/p99 {single['p50_ms']:.3f}/"
             f"{single['p99_ms']:.3f} ms, fleet p99 "
-            f"{fleet['p99_ms']:.3f} ms within SLO"
+            f"{fleet['p99_ms']:.3f} ms within SLO{scaling_note}"
         )
     return 0
 

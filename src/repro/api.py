@@ -40,6 +40,7 @@ from .engine.chunked import extract_features_from_source
 from .engine.executor import CohortEngine
 from .exceptions import DataError
 from .service.config import ServiceConfig
+from .service.fleet import ServiceShardPool
 from .service.ingest import DetectionService
 from .settings import ReproSettings
 
@@ -166,18 +167,23 @@ def start_service(
     *,
     settings: ReproSettings | None = None,
     **config_overrides,
-) -> DetectionService:
-    """Build a real-time :class:`DetectionService` from settings.
+) -> "DetectionService | ServiceShardPool":
+    """Build a real-time detection service from settings.
 
-    Queue depth and backpressure policy come from ``settings`` (the
-    environment when omitted); keyword overrides win.  The returned
-    service is constructed but not yet running — ``await
-    service.start()`` for the in-process async API, ``await
-    service.serve(host, port)`` for the socket front-end, or use it as
-    an async context manager.
+    Queue depth, backpressure policy, and worker count come from
+    ``settings`` (the environment when omitted); keyword overrides win.
+    ``workers == 1`` yields the single-process
+    :class:`DetectionService`; larger values yield a
+    :class:`~repro.service.fleet.ServiceShardPool` hosting sessions
+    across that many worker processes — both expose the same async API
+    (open/ingest/poll/close/drain) and ``serve(host, port)`` socket
+    front-end, and both work as async context managers.  The returned
+    service is constructed but not yet running.
     """
     if config is None:
         config = ServiceConfig.from_settings(settings, **config_overrides)
     elif config_overrides:
         raise DataError("pass config or overrides, not both")
+    if config.workers > 1:
+        return ServiceShardPool(config)
     return DetectionService(config)

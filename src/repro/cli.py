@@ -145,6 +145,9 @@ def _service_config(args: argparse.Namespace):
         overrides["queue_depth"] = args.queue_depth
     if args.backpressure is not None:
         overrides["backpressure"] = args.backpressure
+    # Only `serve` exposes --workers; replay stays single-process.
+    if getattr(args, "workers", None) is not None:
+        overrides["workers"] = args.workers
     return ServiceConfig.from_settings(**overrides)
 
 
@@ -559,8 +562,16 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_args(p_serve)
     p_serve.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="worker shard processes hosting the sessions (default: "
+        "$REPRO_SERVICE_WORKERS, else 1 = single-process); sessions "
+        "are routed to shards by a stable hash of their id, so "
+        "per-session decisions are byte-identical at any N",
+    )
+    p_serve.add_argument(
         "--max-seconds", type=float, default=None, metavar="S",
-        help="exit after S seconds (default: run until interrupted)",
+        help="exit after S seconds (default: run until interrupted; "
+        "SIGTERM/SIGINT drain admitted chunks before exiting)",
     )
     p_serve.add_argument(
         "--json", action="store_true",
@@ -1115,8 +1126,13 @@ def _cmd_lifetime(args: argparse.Namespace) -> int:
 def _stable_telemetry(snapshot: dict) -> dict:
     """The deterministic slice of a telemetry snapshot — counters only,
     wall-clock latency measurements excluded — so ``--json`` output is
-    byte-stable run to run for the same seeded input."""
-    return {k: v for k, v in snapshot.items() if k != "latency"}
+    byte-stable run to run for the same seeded input.  Applies at every
+    level: a merged fleet snapshot's per-shard breakdowns are stripped
+    the same way."""
+    body = {k: v for k, v in snapshot.items() if k != "latency"}
+    if "shards" in body:
+        body["shards"] = [_stable_telemetry(s) for s in body["shards"]]
+    return body
 
 
 def _cmd_replay(args: argparse.Namespace) -> int:
@@ -1174,7 +1190,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import json
+    import signal as signal_module
 
+    from .service.fleet import ServiceShardPool
     from .service.ingest import DetectionService
 
     if args.max_seconds is not None and args.max_seconds <= 0:
@@ -1186,27 +1204,77 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    async def run() -> dict:
-        service = DetectionService(config)
-        host, port = await service.serve(args.host, args.port)
-        print(
-            f"repro service listening on {host}:{port} "
-            f"(queue depth {config.queue_depth}, "
-            f"backpressure {config.backpressure})",
-            flush=True,
-        )
+    async def wait_for_exit(stop_requested: asyncio.Event) -> None:
+        """Block until the deadline or a termination signal — whichever
+        comes first — so both paths funnel through the graceful drain."""
+        if args.max_seconds is None:  # pragma: no cover - interactive mode
+            await stop_requested.wait()
+            return
         try:
-            if args.max_seconds is not None:
-                await asyncio.sleep(args.max_seconds)
-            else:  # pragma: no cover - interactive mode
-                await asyncio.Event().wait()
+            await asyncio.wait_for(
+                stop_requested.wait(), timeout=args.max_seconds
+            )
+        except TimeoutError:
+            pass
+
+    async def run() -> dict:
+        loop = asyncio.get_running_loop()
+        stop_requested = asyncio.Event()
+
+        def request_stop(signame: str) -> None:
+            print(
+                f"received {signame}, draining sessions before exit",
+                file=sys.stderr,
+                flush=True,
+            )
+            stop_requested.set()
+
+        installed = []
+        for sig in (signal_module.SIGTERM, signal_module.SIGINT):
+            try:
+                loop.add_signal_handler(sig, request_stop, sig.name)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass  # non-unix loop: fall back to KeyboardInterrupt
+        try:
+            if config.workers > 1:
+                pool = ServiceShardPool(config)
+                host, port = await pool.serve(args.host, args.port)
+                print(
+                    f"repro service listening on {host}:{port} "
+                    f"({config.workers} worker shards, "
+                    f"queue depth {config.queue_depth}, "
+                    f"backpressure {config.backpressure})",
+                    flush=True,
+                )
+                try:
+                    await wait_for_exit(stop_requested)
+                finally:
+                    # stop() drains every shard before shutdown, so a
+                    # SIGTERM mid-stream still decides admitted chunks;
+                    # the final merged snapshot is the exit report.
+                    snapshot = await pool.stop()
+                return snapshot
+            service = DetectionService(config)
+            host, port = await service.serve(args.host, args.port)
+            print(
+                f"repro service listening on {host}:{port} "
+                f"(queue depth {config.queue_depth}, "
+                f"backpressure {config.backpressure})",
+                flush=True,
+            )
+            try:
+                await wait_for_exit(stop_requested)
+            finally:
+                await service.stop()  # drains admitted chunks first
+            return service.snapshot()
         finally:
-            await service.stop()
-        return service.snapshot()
+            for sig in installed:
+                loop.remove_signal_handler(sig)
 
     try:
         snapshot = asyncio.run(run())
-    except KeyboardInterrupt:  # pragma: no cover - interactive mode
+    except KeyboardInterrupt:  # pragma: no cover - non-unix fallback
         print("interrupted", file=sys.stderr)
         return 0
     except ReproError as exc:

@@ -112,6 +112,7 @@ def partition_tasks(
     tasks,
     n_shards: int,
     strategy: str = "contiguous",
+    weights=None,
 ) -> tuple[tuple[RecordTask, ...], ...]:
     """Split a work list into ``n_shards`` deterministic slices.
 
@@ -120,6 +121,19 @@ def partition_tasks(
     pointed at a small cohort).  ``contiguous`` spreads the remainder
     over the leading shards so sizes differ by at most one; ``strided``
     is ``tasks[i::n_shards]``.
+
+    ``weights`` — one non-negative finite cost per task (e.g. record
+    duration in seconds) — switches ``contiguous`` to a greedy
+    longest-processing-time assignment: tasks are placed heaviest-first
+    onto the currently lightest shard, which bounds the makespan at
+    4/3 of optimal even under heavy skew.  The assignment is fully
+    deterministic (ties break by shard fill count, then shard index,
+    and equal-weight tasks place in work-list order) and each shard
+    preserves original work-list order internally.  Weighted
+    partitioning is a launch-time balancing aid only: shards no longer
+    interleave by a closed form, so weighted plans cannot be rebuilt by
+    :func:`reconstruct_work_list` and ``weights`` cannot combine with
+    ``"strided"``.
     """
     tasks = tuple(tasks)
     if n_shards < 1:
@@ -127,6 +141,37 @@ def partition_tasks(
     if strategy not in SHARD_STRATEGIES:
         raise ShardError(
             f"strategy must be one of {SHARD_STRATEGIES}, got {strategy!r}"
+        )
+    if weights is not None:
+        if strategy == "strided":
+            raise ShardError(
+                "weights require the contiguous strategy; strided is a "
+                "fixed round-robin and cannot honor per-task costs"
+            )
+        weights = [float(w) for w in weights]
+        if len(weights) != len(tasks):
+            raise ShardError(
+                f"weights length {len(weights)} != task count {len(tasks)}"
+            )
+        for index, weight in enumerate(weights):
+            if not (weight >= 0.0) or weight == float("inf"):
+                raise ShardError(
+                    f"weights[{index}] must be finite and >= 0, "
+                    f"got {weights[index]!r}"
+                )
+        # Greedy LPT: heaviest task first, onto the lightest shard.
+        order = sorted(range(len(tasks)), key=lambda i: (-weights[i], i))
+        loads = [0.0] * n_shards
+        assigned: list[list[int]] = [[] for _ in range(n_shards)]
+        for index in order:
+            shard = min(
+                range(n_shards),
+                key=lambda s: (loads[s], len(assigned[s]), s),
+            )
+            loads[shard] += weights[index]
+            assigned[shard].append(index)
+        return tuple(
+            tuple(tasks[i] for i in sorted(bucket)) for bucket in assigned
         )
     if strategy == "strided":
         return tuple(tasks[i::n_shards] for i in range(n_shards))

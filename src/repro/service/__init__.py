@@ -8,7 +8,10 @@ explicit backpressure, per-session ordering), fronted by the asyncio
 and a length-prefixed socket protocol), exercised by the wall-clock
 :class:`~repro.service.replayer.Replayer`, and observed through
 :class:`~repro.service.telemetry.ServiceTelemetry` (ingest→decision
-latency percentiles, queue depth, shed counts).
+latency percentiles, queue depth, shed counts).  For multi-core hosts,
+:class:`~repro.service.fleet.ServiceShardPool` runs N such services as
+worker processes behind one listener with session-sticky routing and
+merged fleet telemetry.
 
 The binding contract: a record streamed through a session produces
 per-window decisions byte-identical to
@@ -18,6 +21,7 @@ to the live path.
 """
 
 from .config import ServiceConfig
+from .fleet import ServiceShardPool, shard_index_of
 from .ingest import DetectionService
 from .manager import IngestResult, SessionManager, SessionSummary
 from .replayer import Replayer, ReplayReport
@@ -42,6 +46,7 @@ __all__ = [
     "ReplayReport",
     "Replayer",
     "ServiceConfig",
+    "ServiceShardPool",
     "ServiceTelemetry",
     "SessionManager",
     "SessionSummary",
@@ -49,5 +54,6 @@ __all__ = [
     "WindowDetector",
     "batch_window_decisions",
     "decisions_from_scores",
+    "shard_index_of",
     "telemetry_to_json",
 ]

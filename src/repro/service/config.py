@@ -52,6 +52,13 @@ class ServiceConfig:
     threshold:
         Default decision threshold for sessions that do not bring their
         own detector.
+    workers:
+        Worker shard processes of the service.  ``1`` (the default) is
+        the single-process :class:`~repro.service.ingest
+        .DetectionService`; larger values host sessions across a
+        :class:`~repro.service.fleet.ServiceShardPool` of that many
+        processes, one listener in front.  Per-session decisions are
+        byte-identical at any value (session-sticky routing).
     """
 
     fs: float = 256.0
@@ -61,6 +68,7 @@ class ServiceConfig:
     queue_depth: int = DEFAULT_QUEUE_DEPTH
     backpressure: str = "reject"
     threshold: float = 0.0
+    workers: int = 1
 
     def __post_init__(self) -> None:
         if self.fs <= 0:
@@ -78,6 +86,10 @@ class ServiceConfig:
                 f"backpressure must be one of {BACKPRESSURE_POLICIES}, "
                 f"got {self.backpressure!r}"
             )
+        if self.workers < 1:
+            raise ServiceError(
+                f"workers must be >= 1, got {self.workers}"
+            )
 
     @classmethod
     def from_settings(
@@ -91,6 +103,7 @@ class ServiceConfig:
         values: dict = {
             "queue_depth": settings.service_queue_depth,
             "backpressure": settings.service_backpressure,
+            "workers": settings.service_workers,
         }
         values.update(overrides)
         return cls(**values)

@@ -1,0 +1,608 @@
+"""Multi-process session sharding: one listener, N worker shards.
+
+PR 7's :class:`~repro.service.ingest.DetectionService` runs every
+session's feature extraction and forest scoring on one core behind the
+GIL.  :class:`ServiceShardPool` breaks that ceiling without touching the
+session code: the parent process keeps the single client-facing socket
+listener, and N worker *processes* each host their own
+:class:`~repro.service.manager.SessionManager` plus consumer thread —
+the exact single-process service, N times over.
+
+Routing is session-sticky by construction: :meth:`ServiceShardPool
+.shard_of` hashes the session id with SHA-256 (stable across processes,
+runs, and machines — never the salted builtin ``hash``), so *every*
+chunk of a session lands on the same shard and the shard replays the
+identical code path the single-process service runs.  That extends the
+PR 7 parity contract across the pool: per-session decision streams are
+byte-identical to the single-process service for any chunking and any
+worker count.
+
+Parent↔shard IPC speaks the same length-prefixed JSON frames as the
+client protocol (:mod:`repro.service.framing`), over one Unix-domain
+stream socket per shard.  The parent pipelines requests (FIFO futures
+per shard; the single-threaded worker answers in order), so many client
+connections keep every shard busy without per-request round-trip
+stalls.  Backpressure is enforced *inside* each shard by its own
+``SessionManager`` queues and surfaces unchanged — a rejected chunk
+comes back as the same :class:`~repro.service.manager.IngestResult` /
+error frame a single-process caller would see.
+
+Shutdown drains: :meth:`ServiceShardPool.stop` sends every shard a
+``shutdown`` frame, and the shard decides every admitted chunk before
+replying with its final telemetry snapshot — so close-mid-stream (and
+``repro serve`` catching SIGTERM) still yields full trailing decisions.
+The merged fleet snapshot (:meth:`ServiceTelemetry.merge`) is the
+return value: one fleet-wide p50/p95/p99/jitter/shed view plus
+per-shard breakdowns.
+
+Worker processes are started with the ``spawn`` method: a fresh
+interpreter per shard keeps workers independent of the parent's asyncio
+loop, thread, and lock state (fork under a live event loop is exactly
+the kind of latent corruption this service cannot afford).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import hashlib
+import multiprocessing
+import os
+import queue
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+from collections import deque
+
+import numpy as np
+
+from ..exceptions import ReproError, ServiceError
+from .config import ServiceConfig
+from .framing import (
+    chunk_message,
+    decode_chunk,
+    read_frame,
+    read_frame_sync,
+    write_frame,
+    write_frame_sync,
+)
+from .manager import IngestResult, SessionManager, SessionSummary
+from .session import WindowDecision
+from .telemetry import ServiceTelemetry
+
+__all__ = ["ServiceShardPool", "shard_index_of"]
+
+#: How long the parent waits for every spawned worker to connect back
+#: and say hello before declaring the fleet broken.  Spawn re-imports
+#: the package per worker (~seconds); this is a hang backstop, not a
+#: performance bound.
+_HELLO_TIMEOUT_S = 120.0
+
+
+def shard_index_of(session_id: str, n_shards: int) -> int:
+    """Stable shard routing: SHA-256 of the session id, mod shards.
+
+    Deliberately *not* the builtin ``hash`` (salted per process): the
+    route must be identical in every parent process, test, and tool
+    that wants to predict where a session lives.
+    """
+    if n_shards < 1:
+        raise ServiceError(f"n_shards must be >= 1, got {n_shards}")
+    digest = hashlib.sha256(str(session_id).encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % n_shards
+
+
+# ---------------------------------------------------------------------------
+# Worker side (runs in the spawned shard process)
+# ---------------------------------------------------------------------------
+def shard_dispatch(
+    manager: SessionManager, dirty: "queue.Queue[str | None]", message: dict
+) -> dict:
+    """Serve one IPC frame against a shard's session manager.
+
+    The synchronous twin of :meth:`DetectionService._dispatch` — same
+    ops, same response shapes, same error-frame discipline — plus the
+    pool-internal ``drain`` and ``shutdown`` verbs.  Module-level and
+    transport-free so the backpressure/error surface is unit-testable
+    without spawning a process.
+    """
+
+    def drain() -> None:
+        dirty.join()
+
+    try:
+        op = message.get("op")
+        if op == "open":
+            session = manager.open_session(str(message["session"]))
+            return {"ok": True, "session": session.session_id}
+        if op == "chunk":
+            result = manager.ingest(
+                str(message["session"]),
+                decode_chunk(message),
+                seq=message.get("seq"),
+            )
+            if result.accepted:
+                dirty.put(result.session_id)
+            return {"ok": True, **dataclasses.asdict(result)}
+        if op == "poll":
+            drain()
+            events = manager.poll_events(
+                str(message["session"]), message.get("max")
+            )
+            return {"ok": True, "events": [e.to_dict() for e in events]}
+        if op == "close":
+            drain()
+            summary = manager.close_session(str(message["session"]))
+            body = dataclasses.asdict(summary)
+            body["trailing_events"] = [
+                e.to_dict() for e in summary.trailing_events
+            ]
+            return {"ok": True, **body}
+        if op == "telemetry":
+            return {
+                "ok": True,
+                "telemetry": manager.snapshot(
+                    include_samples=bool(message.get("samples"))
+                ),
+            }
+        if op == "drain":
+            drain()
+            return {"ok": True}
+        if op == "shutdown":
+            drain()
+            return {
+                "ok": True,
+                "telemetry": manager.snapshot(include_samples=True),
+            }
+        raise ServiceError(f"unknown op {op!r}")
+    except KeyError as exc:
+        return {"ok": False, "error": f"missing field {exc}"}
+    except ReproError as exc:
+        return {"ok": False, "error": str(exc)}
+
+
+def _shard_worker_main(
+    shard_index: int, socket_path: str, config: ServiceConfig
+) -> None:
+    """One shard process: a SessionManager, a consumer thread, a frame loop.
+
+    Mirrors the single-process service's split exactly — the frame loop
+    is the producer (admission only, so backpressure verdicts return
+    immediately), the consumer thread decides queued chunks one at a
+    time — just with a process boundary where the asyncio task boundary
+    used to be.
+    """
+    # Termination is the parent's job (shutdown frame, then EOF): a
+    # terminal SIGINT/SIGTERM aimed at the process group must not kill
+    # shards before they finish draining admitted chunks.
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.signal(signal.SIGTERM, signal.SIG_IGN)
+
+    manager = SessionManager(config)
+    dirty: "queue.Queue[str | None]" = queue.Queue()
+
+    def consume() -> None:
+        while True:
+            session_id = dirty.get()
+            try:
+                if session_id is None:
+                    return
+                manager.pump(session_id, max_chunks=1)
+            except ServiceError:
+                pass  # closed with chunks in flight — accounted at close
+            finally:
+                dirty.task_done()
+
+    consumer = threading.Thread(
+        target=consume, name=f"shard-{shard_index}-consumer", daemon=True
+    )
+    consumer.start()
+
+    conn = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    conn.connect(socket_path)
+    rfile = conn.makefile("rb")
+    wfile = conn.makefile("wb")
+    try:
+        write_frame_sync(wfile, {"op": "hello", "shard": shard_index})
+        while True:
+            message = read_frame_sync(rfile)
+            if message is None:
+                break  # parent is gone; nothing left to answer
+            write_frame_sync(wfile, shard_dispatch(manager, dirty, message))
+            if message.get("op") == "shutdown":
+                break
+    finally:
+        dirty.put(None)
+        dirty.join()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# Parent side
+# ---------------------------------------------------------------------------
+class _ShardClient:
+    """Parent-side handle of one worker shard: pipelined frame RPC.
+
+    Requests are answered strictly in order by the single-threaded
+    worker, so a FIFO of futures is the whole correlation protocol —
+    concurrent callers pipeline onto one pipe without request ids.
+    """
+
+    def __init__(self, index: int, process: multiprocessing.Process) -> None:
+        self.index = index
+        self.process = process
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._pending: deque[asyncio.Future] = deque()
+        self._reader_task: asyncio.Task | None = None
+        self._dead: str | None = None
+
+    def attach(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._reader_task = asyncio.create_task(self._read_responses())
+
+    async def _read_responses(self) -> None:
+        try:
+            while True:
+                message = await read_frame(self._reader)
+                if message is None:
+                    break
+                if self._pending:
+                    fut = self._pending.popleft()
+                    if not fut.done():
+                        fut.set_result(message)
+        except (ServiceError, OSError):
+            pass
+        self._fail_pending(f"shard {self.index} connection lost")
+
+    def _fail_pending(self, reason: str) -> None:
+        self._dead = self._dead or reason
+        while self._pending:
+            fut = self._pending.popleft()
+            if not fut.done():
+                fut.set_exception(ServiceError(reason))
+
+    async def request(self, message: dict) -> dict:
+        """Send one frame, await its (order-matched) response."""
+        if self._dead is not None or self._writer is None:
+            raise ServiceError(
+                self._dead or f"shard {self.index} is not connected"
+            )
+        fut: asyncio.Future = asyncio.get_running_loop().create_future()
+        # Append and write with no await in between: the FIFO position
+        # must match the wire order.
+        self._pending.append(fut)
+        write_frame(self._writer, message)
+        try:
+            await self._writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            self._fail_pending(f"shard {self.index} connection lost")
+        return await fut
+
+    async def close(self) -> None:
+        if self._reader_task is not None:
+            self._reader_task.cancel()
+            try:
+                await self._reader_task
+            except asyncio.CancelledError:
+                pass
+            self._reader_task = None
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+        self._fail_pending(f"shard {self.index} is closed")
+
+
+class ServiceShardPool:
+    """N single-process services behind one front door.
+
+    Lifecycle: ``await start()`` spawns the shards, :meth:`serve` adds
+    the client-facing TCP listener, ``await stop()`` drains every shard
+    and returns the final merged telemetry snapshot.  Also usable as an
+    async context manager.
+
+    The in-process async API mirrors :class:`~repro.service.ingest
+    .DetectionService` (open/ingest/poll/close/drain) with the same
+    result types, so benchmarks and tests can swap one for the other;
+    sessions run the config's default detector (exactly the socket
+    protocol's capability — a custom in-memory detector object cannot
+    cross a process boundary).
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        workers: int | None = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.n_workers = workers if workers is not None else self.config.workers
+        if self.n_workers < 1:
+            raise ServiceError(
+                f"workers must be >= 1, got {self.n_workers}"
+            )
+        self._clients: list[_ShardClient] = []
+        self._tmpdir: str | None = None
+        self._ipc_server: asyncio.base_events.Server | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._started = False
+
+    # ------------------------------------------------------------------
+    async def __aenter__(self) -> "ServiceShardPool":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    def shard_of(self, session_id: str) -> int:
+        """The shard hosting ``session_id`` (stable across runs)."""
+        return shard_index_of(session_id, self.n_workers)
+
+    def _client_for(self, session_id: str) -> _ShardClient:
+        if not self._started:
+            raise ServiceError("shard pool is not started")
+        return self._clients[self.shard_of(session_id)]
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the worker shards and wait for every hello."""
+        if self._started:
+            return
+        loop = asyncio.get_running_loop()
+        self._tmpdir = tempfile.mkdtemp(prefix="repro-fleet-")
+        socket_path = os.path.join(self._tmpdir, "shards.sock")
+        hellos: list[asyncio.Future] = [
+            loop.create_future() for _ in range(self.n_workers)
+        ]
+
+        async def accept(
+            reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+        ) -> None:
+            hello = await read_frame(reader)
+            if (
+                not isinstance(hello, dict)
+                or hello.get("op") != "hello"
+                or not isinstance(hello.get("shard"), int)
+                or not 0 <= hello["shard"] < self.n_workers
+            ):
+                writer.close()
+                return
+            fut = hellos[hello["shard"]]
+            if not fut.done():
+                fut.set_result((reader, writer))
+
+        self._ipc_server = await asyncio.start_unix_server(
+            accept, socket_path
+        )
+        ctx = multiprocessing.get_context("spawn")
+        for index in range(self.n_workers):
+            process = ctx.Process(
+                target=_shard_worker_main,
+                args=(index, socket_path, self.config),
+                name=f"repro-shard-{index}",
+                daemon=True,
+            )
+            process.start()
+            self._clients.append(_ShardClient(index, process))
+
+        deadline = loop.time() + _HELLO_TIMEOUT_S
+        while not all(fut.done() for fut in hellos):
+            dead = [
+                c.index
+                for c in self._clients
+                if not c.process.is_alive()
+                and not hellos[c.index].done()
+            ]
+            if dead or loop.time() > deadline:
+                await self._abort_start()
+                raise ServiceError(
+                    f"shard worker(s) {dead} died before connecting"
+                    if dead
+                    else "timed out waiting for shard workers to connect"
+                )
+            await asyncio.sleep(0.05)
+        for client, fut in zip(self._clients, hellos):
+            reader, writer = fut.result()
+            client.attach(reader, writer)
+        self._started = True
+
+    async def _abort_start(self) -> None:
+        for client in self._clients:
+            if client.process.is_alive():
+                client.process.terminate()
+        self._clients = []
+        await self._close_ipc()
+
+    async def _close_ipc(self) -> None:
+        if self._ipc_server is not None:
+            self._ipc_server.close()
+            await self._ipc_server.wait_closed()
+            self._ipc_server = None
+        if self._tmpdir is not None:
+            shutil.rmtree(self._tmpdir, ignore_errors=True)
+            self._tmpdir = None
+
+    async def stop(self) -> dict:
+        """Drain and shut down every shard; returns the final merged
+        telemetry snapshot (chunks admitted before the stop are decided
+        — the fleet never exits with undecided data)."""
+        if not self._started:
+            await self._close_ipc()
+            return ServiceTelemetry.merge([])
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        snapshots = []
+        for client in self._clients:
+            try:
+                reply = await client.request({"op": "shutdown"})
+                if reply.get("ok") and "telemetry" in reply:
+                    snapshots.append(reply["telemetry"])
+            except ServiceError:
+                pass  # a dead shard has no final counters to offer
+        merged = ServiceTelemetry.merge(snapshots)
+        for client in self._clients:
+            await client.close()
+        loop = asyncio.get_running_loop()
+        for client in self._clients:
+            await loop.run_in_executor(None, client.process.join, 10.0)
+            if client.process.is_alive():  # pragma: no cover - hang backstop
+                client.process.terminate()
+                await loop.run_in_executor(None, client.process.join, 5.0)
+        self._clients = []
+        self._started = False
+        await self._close_ipc()
+        return merged
+
+    # ------------------------------------------------------------------
+    # In-process async API (mirrors DetectionService)
+    # ------------------------------------------------------------------
+    async def open_session(self, session_id: str) -> str:
+        reply = await self._request_for(session_id, {
+            "op": "open", "session": str(session_id),
+        })
+        return reply["session"]
+
+    async def ingest(
+        self, session_id: str, chunk: np.ndarray, seq: int | None = None
+    ) -> IngestResult:
+        """Offer one chunk to the owning shard; the admission verdict
+        (including backpressure) comes back as the shard's own
+        :class:`IngestResult`, unchanged."""
+        reply = await self._request_for(
+            session_id, chunk_message(session_id, seq, chunk)
+        )
+        return IngestResult(
+            session_id=reply["session_id"],
+            accepted=reply["accepted"],
+            queued=reply["queued"],
+            shed=reply["shed"],
+            reason=reply["reason"],
+        )
+
+    async def poll_events(
+        self, session_id: str, max_events: int | None = None
+    ) -> list[WindowDecision]:
+        message: dict = {"op": "poll", "session": str(session_id)}
+        if max_events is not None:
+            message["max"] = max_events
+        reply = await self._request_for(session_id, message)
+        return [WindowDecision(**event) for event in reply["events"]]
+
+    async def close_session(self, session_id: str) -> SessionSummary:
+        reply = await self._request_for(session_id, {
+            "op": "close", "session": str(session_id),
+        })
+        return SessionSummary(
+            session_id=reply["session_id"],
+            windows=reply["windows"],
+            chunks=reply["chunks"],
+            samples=reply["samples"],
+            shed=reply["shed"],
+            trailing_events=tuple(
+                WindowDecision(**event)
+                for event in reply["trailing_events"]
+            ),
+            error=reply["error"],
+        )
+
+    async def _request_for(self, session_id: str, message: dict) -> dict:
+        reply = await self._client_for(session_id).request(message)
+        if not reply.get("ok"):
+            raise ServiceError(reply.get("error", "shard request failed"))
+        return reply
+
+    async def drain(self) -> None:
+        """Wait until every shard has decided every admitted chunk."""
+        if not self._started:
+            return
+        await asyncio.gather(
+            *(client.request({"op": "drain"}) for client in self._clients)
+        )
+
+    async def snapshot(self) -> dict:
+        """Fleet-wide merged telemetry (plus per-shard breakdowns)."""
+        if not self._started:
+            raise ServiceError("shard pool is not started")
+        replies = await asyncio.gather(
+            *(
+                client.request({"op": "telemetry", "samples": True})
+                for client in self._clients
+            )
+        )
+        return ServiceTelemetry.merge(
+            [reply["telemetry"] for reply in replies]
+        )
+
+    # ------------------------------------------------------------------
+    # Client-facing socket front-end (the one listener)
+    # ------------------------------------------------------------------
+    async def serve(
+        self, host: str = "127.0.0.1", port: int = 0
+    ) -> tuple[str, int]:
+        """Start the client listener; same wire protocol as the
+        single-process service, with frames routed to the owning shard."""
+        await self.start()
+        self._server = await asyncio.start_server(
+            self._handle_client, host, port
+        )
+        sock = self._server.sockets[0].getsockname()
+        return sock[0], sock[1]
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                try:
+                    message = await read_frame(reader)
+                except ServiceError as exc:
+                    write_frame(writer, {"ok": False, "error": str(exc)})
+                    await writer.drain()
+                    break  # framing is broken; the stream cannot recover
+                if message is None:
+                    break
+                write_frame(writer, await self._route(message))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+
+    async def _route(self, message: dict) -> dict:
+        """Forward one client frame to its shard (or answer fleet-wide).
+
+        Session-scoped frames travel verbatim — the shard's dispatch is
+        the semantic authority, the parent only routes — so every
+        response (including error frames) is exactly what the
+        single-process service would have produced.
+        """
+        op = message.get("op")
+        if op == "telemetry":
+            try:
+                return {"ok": True, "telemetry": await self.snapshot()}
+            except ReproError as exc:
+                return {"ok": False, "error": str(exc)}
+        if op in ("open", "chunk", "poll", "close"):
+            session_id = message.get("session")
+            if session_id is None:
+                return {"ok": False, "error": "missing field 'session'"}
+            try:
+                return await self._client_for(str(session_id)).request(
+                    message
+                )
+            except ReproError as exc:
+                return {"ok": False, "error": str(exc)}
+        return {"ok": False, "error": f"unknown op {op!r}"}

@@ -37,73 +37,24 @@ connection.
 from __future__ import annotations
 
 import asyncio
-import base64
 import dataclasses
 import json
-import struct
 
 import numpy as np
 
 from ..exceptions import ReproError, ServiceError
 from .config import ServiceConfig
+from .framing import (
+    MAX_FRAME_BYTES,
+    decode_chunk,
+    read_frame,
+    write_frame,
+)
 from .manager import IngestResult, SessionManager
 from .session import WindowDetector
 from .telemetry import telemetry_to_json
 
 __all__ = ["DetectionService", "MAX_FRAME_BYTES"]
-
-#: Upper bound of one frame's payload; a length prefix past this is
-#: treated as a protocol violation (protects the server from a single
-#: garbage frame allocating gigabytes).
-MAX_FRAME_BYTES = 64 * 1024 * 1024
-
-_LEN = struct.Struct(">I")
-
-
-async def _read_frame(reader: asyncio.StreamReader) -> dict | None:
-    """Read one length-prefixed JSON frame; None on clean EOF."""
-    try:
-        head = await reader.readexactly(_LEN.size)
-    except (asyncio.IncompleteReadError, ConnectionResetError):
-        return None
-    (length,) = _LEN.unpack(head)
-    if length > MAX_FRAME_BYTES:
-        raise ServiceError(
-            f"frame of {length} bytes exceeds the {MAX_FRAME_BYTES}-byte "
-            f"limit"
-        )
-    payload = await reader.readexactly(length)
-    try:
-        message = json.loads(payload.decode("utf-8"))
-    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
-        raise ServiceError(f"malformed frame: {exc}") from None
-    if not isinstance(message, dict):
-        raise ServiceError("frame payload must be a JSON object")
-    return message
-
-
-def _write_frame(writer: asyncio.StreamWriter, message: dict) -> None:
-    payload = json.dumps(
-        message, sort_keys=True, separators=(",", ":")
-    ).encode("utf-8")
-    writer.write(_LEN.pack(len(payload)) + payload)
-
-
-def _decode_chunk(message: dict) -> np.ndarray:
-    try:
-        shape = tuple(int(v) for v in message["shape"])
-        raw = base64.b64decode(message["data"], validate=True)
-    except (KeyError, TypeError, ValueError) as exc:
-        raise ServiceError(f"bad chunk frame: {exc}") from None
-    if len(shape) != 2 or shape[0] < 1 or shape[1] < 0:
-        raise ServiceError(f"bad chunk shape {shape}")
-    expected = shape[0] * shape[1] * 8
-    if len(raw) != expected:
-        raise ServiceError(
-            f"chunk payload is {len(raw)} bytes, shape {shape} needs "
-            f"{expected}"
-        )
-    return np.frombuffer(raw, dtype=np.float64).reshape(shape).copy()
 
 
 class DetectionService:
@@ -230,14 +181,14 @@ class DetectionService:
         try:
             while True:
                 try:
-                    message = await _read_frame(reader)
+                    message = await read_frame(reader)
                 except ServiceError as exc:
-                    _write_frame(writer, {"ok": False, "error": str(exc)})
+                    write_frame(writer, {"ok": False, "error": str(exc)})
                     await writer.drain()
                     break  # framing is broken; the stream cannot recover
                 if message is None:
                     break
-                _write_frame(writer, await self._dispatch(message))
+                write_frame(writer, await self._dispatch(message))
                 await writer.drain()
         finally:
             writer.close()
@@ -255,7 +206,7 @@ class DetectionService:
             if op == "chunk":
                 result = await self.ingest(
                     str(message["session"]),
-                    _decode_chunk(message),
+                    decode_chunk(message),
                     seq=message.get("seq"),
                 )
                 return {"ok": True, **dataclasses.asdict(result)}

@@ -17,6 +17,14 @@ can diff two exports byte-for-byte — the same discipline
 Thread-safety: counters and the sample ring are guarded by one lock, so
 the asyncio front-end, worker threads, and a synchronous replayer can
 share a collector.
+
+A fleet of collectors (one per shard of the multi-process pool) reduces
+to a single view through :meth:`ServiceTelemetry.merge`: counters sum,
+high-water marks max, and percentiles are recomputed over the pooled
+latency samples each shard exports with ``snapshot(
+include_samples=True)`` — one fleet-wide p50/p95/p99/jitter/shed view
+plus per-shard breakdowns, byte-stable under the same canonical
+encoding.
 """
 
 from __future__ import annotations
@@ -145,14 +153,28 @@ class ServiceTelemetry:
         with self._lock:
             return LatencySummary(list(self._samples))
 
-    def snapshot(self) -> dict:
+    def snapshot(self, include_samples: bool = False) -> dict:
         """Point-in-time plain-data export of every counter.
 
         The layout is flat dict-of-dicts with stable keys; see
         :func:`telemetry_to_json` for the canonical byte encoding.
+
+        ``include_samples`` additionally exports the retained latency
+        reservoir under ``latency.samples_ms`` (each sample rounded to
+        microsecond precision, like the percentile fields) — what a
+        shard ships to the parent so :meth:`merge` can compute *exact*
+        fleet-wide percentiles instead of averaging per-shard ones.
         """
         with self._lock:
-            latency = LatencySummary(list(self._samples))
+            samples = list(self._samples)
+            latency = dict(
+                LatencySummary(samples).to_dict(),
+                total=self._latency_total,
+            )
+            if include_samples:
+                latency["samples_ms"] = [
+                    round(s * 1e3, 3) for s in samples
+                ]
             return {
                 "schema": SCHEMA_VERSION,
                 "sessions": {
@@ -171,11 +193,82 @@ class ServiceTelemetry:
                     "depth": self.queue_depth,
                     "high_water": self.queue_high_water,
                 },
-                "latency": dict(
-                    latency.to_dict(),
-                    total=self._latency_total,
-                ),
+                "latency": latency,
             }
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def merge(snapshots) -> dict:
+        """Fold per-shard snapshots into one fleet-wide view.
+
+        Counters sum, queue depth sums, the high-water mark is the max
+        across shards, and the latency distribution is reduced over the
+        *pooled* samples (every input produced by ``snapshot(
+        include_samples=True)``) — so the merged p50/p95/p99/jitter are
+        exact over the retained reservoir, not an average of per-shard
+        percentiles.  Snapshots exported without samples still merge;
+        their chunks are simply absent from the pooled percentiles
+        (visible as ``latency.count < latency.total``).
+
+        The merged view keeps the single-service schema and adds
+        ``workers`` (input count) plus ``shards`` (the per-shard
+        breakdowns, samples stripped), and serializes byte-stably
+        through :func:`telemetry_to_json` — identical inputs always
+        produce identical bytes.
+        """
+        snapshots = list(snapshots)
+        for snap in snapshots:
+            if not isinstance(snap, dict) or snap.get("schema") != SCHEMA_VERSION:
+                raise ServiceError(
+                    f"cannot merge telemetry snapshot with schema "
+                    f"{snap.get('schema') if isinstance(snap, dict) else snap!r}"
+                    f" (this build reads schema {SCHEMA_VERSION})"
+                )
+
+        def total(group: str, key: str) -> int:
+            return sum(s[group][key] for s in snapshots)
+
+        pooled_ms: list[float] = []
+        for snap in snapshots:
+            pooled_ms.extend(snap["latency"].get("samples_ms", ()))
+        latency = LatencySummary([ms / 1e3 for ms in pooled_ms])
+        shards = []
+        for snap in snapshots:
+            trimmed = dict(snap)
+            trimmed["latency"] = {
+                k: v
+                for k, v in snap["latency"].items()
+                if k != "samples_ms"
+            }
+            shards.append(trimmed)
+        return {
+            "schema": SCHEMA_VERSION,
+            "workers": len(snapshots),
+            "sessions": {
+                "opened": total("sessions", "opened"),
+                "closed": total("sessions", "closed"),
+                "active": total("sessions", "active"),
+            },
+            "chunks": {
+                "ingested": total("chunks", "ingested"),
+                "processed": total("chunks", "processed"),
+                "shed": total("chunks", "shed"),
+                "rejected": total("chunks", "rejected"),
+            },
+            "windows": {"decided": total("windows", "decided")},
+            "queue": {
+                "depth": total("queue", "depth"),
+                "high_water": max(
+                    (s["queue"]["high_water"] for s in snapshots),
+                    default=0,
+                ),
+            },
+            "latency": dict(
+                latency.to_dict(),
+                total=sum(s["latency"]["total"] for s in snapshots),
+            ),
+            "shards": shards,
+        }
 
 
 def telemetry_to_json(snapshot: dict) -> str:

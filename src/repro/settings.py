@@ -5,7 +5,8 @@ reads :envvar:`REPRO_KERNEL_BACKEND`, the engine reads
 :envvar:`REPRO_ENGINE_EXECUTOR`, the sampling protocol reads
 :envvar:`REPRO_SAMPLES_PER_SEIZURE` / :envvar:`REPRO_PAPER_DURATIONS`,
 and the real-time service adds :envvar:`REPRO_SERVICE_QUEUE_DEPTH` /
-:envvar:`REPRO_SERVICE_BACKPRESSURE`.  :class:`ReproSettings` resolves
+:envvar:`REPRO_SERVICE_BACKPRESSURE` /
+:envvar:`REPRO_SERVICE_WORKERS`.  :class:`ReproSettings` resolves
 them all in one place — through the *same* validating parsers each
 subsystem uses, so a bad value fails identically whether it is read here
 or at the point of use — and is threaded as the default-provider into
@@ -28,6 +29,7 @@ from .exceptions import ServiceError
 __all__ = [
     "ENV_SERVICE_QUEUE_DEPTH",
     "ENV_SERVICE_BACKPRESSURE",
+    "ENV_SERVICE_WORKERS",
     "BACKPRESSURE_POLICIES",
     "DEFAULT_QUEUE_DEPTH",
     "ReproSettings",
@@ -37,6 +39,8 @@ __all__ = [
 ENV_SERVICE_QUEUE_DEPTH = "REPRO_SERVICE_QUEUE_DEPTH"
 #: Backpressure policy when a session's ingest queue is full.
 ENV_SERVICE_BACKPRESSURE = "REPRO_SERVICE_BACKPRESSURE"
+#: Worker shard processes of the detection service (1 = in-process).
+ENV_SERVICE_WORKERS = "REPRO_SERVICE_WORKERS"
 
 #: ``reject`` refuses the new chunk (the caller sees a rejected
 #: IngestResult / BackpressureError); ``shed-oldest`` drops the oldest
@@ -62,6 +66,23 @@ def _queue_depth_from(env: Mapping[str, str]) -> int:
             f"{ENV_SERVICE_QUEUE_DEPTH} must be >= 1, got {depth}"
         )
     return depth
+
+
+def _workers_from(env: Mapping[str, str]) -> int:
+    raw = env.get(ENV_SERVICE_WORKERS, "").strip()
+    if not raw:
+        return 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise ServiceError(
+            f"{ENV_SERVICE_WORKERS} must be an integer, got {raw!r}"
+        ) from None
+    if workers < 1:
+        raise ServiceError(
+            f"{ENV_SERVICE_WORKERS} must be >= 1, got {workers}"
+        )
+    return workers
 
 
 def _backpressure_from(env: Mapping[str, str]) -> str:
@@ -98,6 +119,10 @@ class ReproSettings:
     service_queue_depth / service_backpressure:
         The real-time service's bounded ingest queue depth and
         full-queue policy (see :data:`BACKPRESSURE_POLICIES`).
+    service_workers:
+        :envvar:`REPRO_SERVICE_WORKERS` — how many worker shard
+        processes the detection service runs its sessions across
+        (1, the default, keeps the PR 7 single-process service).
     """
 
     kernel_backend: str | None = None
@@ -106,6 +131,7 @@ class ReproSettings:
     paper_durations: bool = False
     service_queue_depth: int = DEFAULT_QUEUE_DEPTH
     service_backpressure: str = "reject"
+    service_workers: int = 1
 
     def __post_init__(self) -> None:
         if self.service_queue_depth < 1:
@@ -117,6 +143,10 @@ class ReproSettings:
             raise ServiceError(
                 f"service_backpressure must be one of "
                 f"{BACKPRESSURE_POLICIES}, got {self.service_backpressure!r}"
+            )
+        if self.service_workers < 1:
+            raise ServiceError(
+                f"service_workers must be >= 1, got {self.service_workers}"
             )
 
     @classmethod
@@ -166,6 +196,7 @@ class ReproSettings:
             paper_durations=paper,
             service_queue_depth=_queue_depth_from(env),
             service_backpressure=_backpressure_from(env),
+            service_workers=_workers_from(env),
         )
 
     # ------------------------------------------------------------------

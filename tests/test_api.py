@@ -109,6 +109,19 @@ class TestStartService:
         with pytest.raises(DataError):
             api.start_service(ServiceConfig(), queue_depth=3)
 
+    def test_workers_selects_the_shard_pool(self):
+        from repro.service import ServiceShardPool
+
+        service = api.start_service(workers=2)
+        assert isinstance(service, ServiceShardPool)
+        assert service.n_workers == 2
+        # Constructed, not started: no processes were spawned.
+        assert service._clients == []
+        settings = ReproSettings(service_workers=3)
+        assert isinstance(
+            api.start_service(settings=settings), ServiceShardPool
+        )
+
 
 class TestPackageSurface:
     def test_facade_exported_from_top_level(self):

@@ -916,3 +916,109 @@ class TestServe:
         code = main(["serve", "--max-seconds", "-1"])
         assert code == 2
         assert "--max-seconds" in capsys.readouterr().err
+
+    def test_invalid_workers_errors(self, capsys):
+        code = main(["serve", "--max-seconds", "0.1", "--workers", "0"])
+        assert code == 2
+        assert "workers" in capsys.readouterr().err
+
+    def test_workers_smoke_json(self, capsys):
+        code = main(
+            ["serve", "--max-seconds", "0.3", "--workers", "2", "--json"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "2 worker shards" in out
+        snapshot = json.loads(out.splitlines()[-1])
+        assert snapshot["workers"] == 2
+        assert len(snapshot["shards"]) == 2
+        # The stable JSON strips latency fleet-wide and per shard.
+        assert "latency" not in snapshot
+        assert all("latency" not in s for s in snapshot["shards"])
+
+
+class TestServeSignals:
+    """`repro serve` drains before exiting on SIGTERM — subprocess-level,
+    because signal delivery and exit codes are the contract."""
+
+    @staticmethod
+    def _serve_and_sigterm(extra_args, feed_session=False):
+        import base64
+        import os
+        import signal as signal_module
+        import socket as socket_module
+        import struct
+        import subprocess
+        import sys
+
+        import numpy as np
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--json", *extra_args],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            env=env,
+            text=True,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on" in banner, banner
+            port = int(banner.split("listening on ")[1].split()[0].split(":")[1])
+            if feed_session:
+                # Admit chunks, then SIGTERM while they may still be
+                # queued: the drain must decide them before exit.
+                length = struct.Struct(">I")
+                with socket_module.create_connection(("127.0.0.1", port)) as sock:
+                    def send(message):
+                        payload = json.dumps(message).encode()
+                        sock.sendall(length.pack(len(payload)) + payload)
+                        head = b""
+                        while len(head) < 4:
+                            head += sock.recv(4 - len(head))
+                        (n,) = length.unpack(head)
+                        body = b""
+                        while len(body) < n:
+                            body += sock.recv(n - len(body))
+                        return json.loads(body)
+
+                    assert send({"op": "open", "session": "p"})["ok"]
+                    data = np.zeros((2, 1024), dtype=np.float64)
+                    for seq in range(3):
+                        reply = send({
+                            "op": "chunk",
+                            "session": "p",
+                            "seq": seq,
+                            "shape": [2, 1024],
+                            "data": base64.b64encode(data.tobytes()).decode(),
+                        })
+                        assert reply["ok"] and reply["accepted"]
+            proc.send_signal(signal_module.SIGTERM)
+            out, err = proc.communicate(timeout=120)
+        except BaseException:
+            proc.kill()
+            proc.wait()
+            raise
+        return proc.returncode, out, err
+
+    def test_sigterm_drains_single_process(self):
+        code, out, err = self._serve_and_sigterm([], feed_session=True)
+        assert code == 0
+        assert "received SIGTERM, draining" in err
+        snapshot = json.loads(out.splitlines()[-1])
+        # Every admitted chunk was decided before exit.
+        assert snapshot["chunks"]["ingested"] == 3
+        assert snapshot["chunks"]["processed"] == 3
+
+    def test_sigterm_drains_worker_fleet(self):
+        code, out, err = self._serve_and_sigterm(
+            ["--workers", "2"], feed_session=True
+        )
+        assert code == 0
+        assert "received SIGTERM, draining" in err
+        snapshot = json.loads(out.splitlines()[-1])
+        assert snapshot["workers"] == 2
+        assert snapshot["chunks"]["ingested"] == 3
+        assert snapshot["chunks"]["processed"] == 3

@@ -136,6 +136,66 @@ class TestPartition:
             partition_tasks(ts, 2, "zigzag")
 
 
+class TestWeightedPartition:
+    def test_skewed_weights_balance_better_than_contiguous(self):
+        # One whale record and seven minnows: the naive contiguous split
+        # puts the whale plus minnows on shard 0; LPT isolates it.
+        ts = tuple(RecordTask(1, i, 0) for i in range(8))
+        weights = [100.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        slices = partition_tasks(ts, 2, weights=weights)
+        by_task = {t: w for t, w in zip(ts, weights)}
+        loads = [sum(by_task[t] for t in s) for s in slices]
+        assert max(loads) == 100.0  # whale alone; minnows share the other
+        landed = [t for s in slices for t in s]
+        assert sorted(landed, key=lambda t: t.key) == list(ts)
+
+    def test_every_task_lands_exactly_once(self):
+        ts = tuple(RecordTask(1, i, 0) for i in range(11))
+        weights = [float((i * 7) % 5 + 1) for i in range(11)]
+        slices = partition_tasks(ts, 4, weights=weights)
+        everything = [t for s in slices for t in s]
+        assert sorted(everything, key=lambda t: t.key) == list(ts)
+
+    def test_shards_preserve_work_list_order_internally(self):
+        ts = tuple(RecordTask(1, i, 0) for i in range(9))
+        weights = [5.0, 1.0, 4.0, 1.0, 3.0, 1.0, 2.0, 1.0, 1.0]
+        for shard in partition_tasks(ts, 3, weights=weights):
+            indices = [t.seizure_index for t in shard]
+            assert indices == sorted(indices)
+
+    def test_equal_weights_tie_break_is_round_robin(self):
+        ts = tuple(RecordTask(1, i, 0) for i in range(6))
+        slices = partition_tasks(ts, 3, weights=[2.0] * 6)
+        assert [len(s) for s in slices] == [2, 2, 2]
+        # Deterministic: same inputs, same assignment, every time.
+        assert partition_tasks(ts, 3, weights=[2.0] * 6) == slices
+
+    def test_zero_weights_still_spread_by_count(self):
+        ts = tuple(RecordTask(1, i, 0) for i in range(6))
+        slices = partition_tasks(ts, 3, weights=[0.0] * 6)
+        assert [len(s) for s in slices] == [2, 2, 2]
+
+    def test_more_shards_than_tasks_yields_empty_shards(self):
+        ts = tuple(RecordTask(1, i, 0) for i in range(2))
+        slices = partition_tasks(ts, 5, weights=[3.0, 1.0])
+        assert len(slices) == 5
+        assert sum(len(s) for s in slices) == 2
+        assert [len(s) for s in slices].count(0) == 3
+
+    def test_invalid_weights_raise(self):
+        ts = tuple(RecordTask(1, i, 0) for i in range(3))
+        with pytest.raises(ShardError):
+            partition_tasks(ts, 2, weights=[1.0, 2.0])  # length mismatch
+        with pytest.raises(ShardError):
+            partition_tasks(ts, 2, weights=[1.0, -1.0, 2.0])
+        with pytest.raises(ShardError):
+            partition_tasks(ts, 2, weights=[1.0, float("nan"), 2.0])
+        with pytest.raises(ShardError):
+            partition_tasks(ts, 2, weights=[1.0, float("inf"), 2.0])
+        with pytest.raises(ShardError):
+            partition_tasks(ts, 2, "strided", weights=[1.0, 1.0, 1.0])
+
+
 class TestManifests:
     def test_write_load_roundtrip(self, tmp_path, tasks, config):
         plan_dir, specs = make_plan(tmp_path, tasks, config)

@@ -267,3 +267,133 @@ class TestSocketProtocol:
         assert not reply["ok"]
         assert "limit" in reply["error"]
         assert eof == b""  # server hung up after the protocol violation
+
+
+class TestConcurrentClients:
+    """Several client connections sharing one service: interleaved
+    frames stay correlated per stream, one client's errors never leak
+    into another's responses, and a protocol violation costs only the
+    offending connection."""
+
+    def test_interleaved_sessions_no_cross_talk(self, sample_record):
+        n = 20 * FS
+        expected = [
+            d.to_dict() for d in batch_window_decisions(
+                type(sample_record)(
+                    data=sample_record.data[:, :n], fs=sample_record.fs
+                )
+            )
+        ]
+
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                conns = [
+                    await asyncio.open_connection(host, port)
+                    for _ in range(3)
+                ]
+                try:
+                    for i, (reader, writer) in enumerate(conns):
+                        opened = await request(
+                            reader, writer, {"op": "open", "session": f"c{i}"}
+                        )
+                        assert opened["ok"]
+                    # Interleave: one chunk per client per round, so the
+                    # server sees the streams braided together.
+                    for seq in range(4):
+                        lo = seq * 5 * FS
+                        chunk = sample_record.data[:, lo : lo + 5 * FS]
+                        replies = await asyncio.gather(*(
+                            request(r, w, chunk_frame(f"c{i}", seq, chunk))
+                            for i, (r, w) in enumerate(conns)
+                        ))
+                        assert all(
+                            rep["ok"] and rep["accepted"] for rep in replies
+                        )
+                        # Each reply names the caller's own session.
+                        assert [rep["session_id"] for rep in replies] == [
+                            f"c{i}" for i in range(3)
+                        ]
+                    decided = []
+                    for i, (reader, writer) in enumerate(conns):
+                        polled = await request(
+                            reader, writer, {"op": "poll", "session": f"c{i}"}
+                        )
+                        closed = await request(
+                            reader, writer, {"op": "close", "session": f"c{i}"}
+                        )
+                        assert closed["error"] is None
+                        decided.append(
+                            polled["events"] + closed["trailing_events"]
+                        )
+                finally:
+                    for _reader, writer in conns:
+                        writer.close()
+                        await writer.wait_closed()
+                return decided
+
+        decided = run(go())
+        # Every interleaved stream decided the identical record
+        # identically — no frames crossed sessions.
+        assert all(events == expected for events in decided)
+
+    def test_errors_stay_on_the_offending_stream(self):
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                r1, w1 = await asyncio.open_connection(host, port)
+                r2, w2 = await asyncio.open_connection(host, port)
+                try:
+                    await request(r1, w1, {"op": "open", "session": "a"})
+                    await request(r2, w2, {"op": "open", "session": "b"})
+                    # Client 1 misbehaves; client 2's stream is clean.
+                    bad, good = await asyncio.gather(
+                        request(r1, w1, {"op": "bogus"}),
+                        request(
+                            r2, w2, chunk_frame("b", 0, np.zeros((2, FS)))
+                        ),
+                    )
+                    after = await request(
+                        r2, w2, {"op": "close", "session": "b"}
+                    )
+                finally:
+                    for writer in (w1, w2):
+                        writer.close()
+                        await writer.wait_closed()
+                return bad, good, after
+
+        bad, good, after = run(go())
+        assert not bad["ok"] and "bogus" in bad["error"]
+        assert good["ok"] and good["accepted"]
+        assert after["ok"]
+
+    def test_oversized_frame_closes_only_the_offender(self):
+        from repro.service.ingest import MAX_FRAME_BYTES
+
+        async def go():
+            async with DetectionService() as service:
+                host, port = await service.serve()
+                r1, w1 = await asyncio.open_connection(host, port)
+                r2, w2 = await asyncio.open_connection(host, port)
+                try:
+                    await request(r2, w2, {"op": "open", "session": "b"})
+                    # Client 1 violates the frame cap and gets hung up on.
+                    w1.write(_LEN.pack(MAX_FRAME_BYTES + 1))
+                    await w1.drain()
+                    (length,) = _LEN.unpack(await r1.readexactly(_LEN.size))
+                    refused = json.loads(await r1.readexactly(length))
+                    eof = await r1.read(1)
+                    # Client 2's connection is untouched.
+                    survivor = await request(
+                        r2, w2, chunk_frame("b", 0, np.zeros((2, FS)))
+                    )
+                finally:
+                    for writer in (w1, w2):
+                        writer.close()
+                        await writer.wait_closed()
+                return refused, eof, survivor
+
+        refused, eof, survivor = run(go())
+        assert not refused["ok"] and "limit" in refused["error"]
+        assert eof == b""  # offender disconnected
+        assert survivor["ok"] and survivor["accepted"]

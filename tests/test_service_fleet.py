@@ -1,0 +1,326 @@
+"""ServiceShardPool: stable session routing, pool-vs-batch parity at any
+chunking and worker count, drain-on-stop, dead-shard surfacing, and the
+single client-facing listener in front of N worker processes.
+
+The worker-side dispatch (`shard_dispatch`) is exercised in-process —
+it is the exact function the spawned shard runs, so backpressure and
+error-frame behavior are pinned deterministically without paying a
+process spawn per case.  The spawning tests keep to a handful of pool
+lifecycles to stay fast.
+"""
+
+import asyncio
+import json
+import queue
+import struct
+import threading
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import (
+    ServiceConfig,
+    ServiceShardPool,
+    SessionManager,
+    batch_window_decisions,
+    shard_index_of,
+)
+from repro.service.fleet import shard_dispatch
+from repro.service.framing import chunk_message
+
+FS = 256
+_LEN = struct.Struct(">I")
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+async def request(reader, writer, message):
+    payload = json.dumps(message).encode()
+    writer.write(_LEN.pack(len(payload)) + payload)
+    await writer.drain()
+    (length,) = _LEN.unpack(await reader.readexactly(_LEN.size))
+    return json.loads(await reader.readexactly(length))
+
+
+def start_consumer(manager, dirty):
+    """The exact consumer loop `_shard_worker_main` runs."""
+
+    def consume():
+        while True:
+            session_id = dirty.get()
+            try:
+                if session_id is None:
+                    return
+                manager.pump(session_id, max_chunks=1)
+            except ServiceError:
+                pass
+            finally:
+                dirty.task_done()
+
+    thread = threading.Thread(target=consume, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestRouting:
+    def test_stable_and_in_range(self):
+        for session_id in ("p1", "p2", "alpha", "42"):
+            shard = shard_index_of(session_id, 4)
+            assert 0 <= shard < 4
+            # Same id, same shard — every time, every process.
+            assert shard_index_of(session_id, 4) == shard
+
+    def test_spreads_sessions_across_shards(self):
+        hit = {shard_index_of(f"s{i}", 4) for i in range(64)}
+        assert hit == {0, 1, 2, 3}
+
+    def test_single_shard_gets_everything(self):
+        assert all(
+            shard_index_of(f"s{i}", 1) == 0 for i in range(8)
+        )
+
+    def test_invalid_shard_count_raises(self):
+        with pytest.raises(ServiceError):
+            shard_index_of("p", 0)
+
+
+class TestShardDispatch:
+    """The worker's frame handler, unit-tested without a process."""
+
+    def test_backpressure_is_deterministic_and_surfaced(self):
+        # No consumer: the queue can only fill, so the second chunk's
+        # rejection is deterministic — the exact frames a pool client
+        # sees when a shard is saturated.
+        manager = SessionManager(
+            ServiceConfig(queue_depth=1, backpressure="reject")
+        )
+        dirty = queue.Queue()
+        opened = shard_dispatch(
+            manager, dirty, {"op": "open", "session": "p"}
+        )
+        assert opened == {"ok": True, "session": "p"}
+        first = shard_dispatch(
+            manager, dirty, chunk_message("p", 0, np.zeros((2, FS)))
+        )
+        second = shard_dispatch(
+            manager, dirty, chunk_message("p", 1, np.zeros((2, FS)))
+        )
+        assert first["ok"] and first["accepted"]
+        assert second["ok"] and not second["accepted"]
+        assert "reject" in second["reason"]
+        # Only the admitted chunk marked the session dirty.
+        assert dirty.qsize() == 1
+
+    def test_shed_oldest_counts_surface(self):
+        manager = SessionManager(
+            ServiceConfig(queue_depth=1, backpressure="shed-oldest")
+        )
+        dirty = queue.Queue()
+        shard_dispatch(manager, dirty, {"op": "open", "session": "p"})
+        shard_dispatch(
+            manager, dirty, chunk_message("p", 0, np.zeros((2, FS)))
+        )
+        reply = shard_dispatch(
+            manager, dirty, chunk_message("p", 1, np.zeros((2, FS)))
+        )
+        assert reply["ok"] and reply["accepted"] and reply["shed"] == 1
+
+    def test_error_frames_match_single_process_service(self):
+        manager = SessionManager(ServiceConfig())
+        dirty = queue.Queue()
+        bad_op = shard_dispatch(manager, dirty, {"op": "bogus"})
+        missing = shard_dispatch(manager, dirty, {"op": "open"})
+        ghost = shard_dispatch(
+            manager, dirty, chunk_message("ghost", 0, np.zeros((2, FS)))
+        )
+        assert not bad_op["ok"] and "bogus" in bad_op["error"]
+        assert not missing["ok"] and "session" in missing["error"]
+        assert not ghost["ok"] and "ghost" in ghost["error"]
+
+    def test_full_session_round_trip_matches_batch(self, sample_record):
+        n = 20 * FS
+        expected = batch_window_decisions(
+            type(sample_record)(
+                data=sample_record.data[:, :n], fs=sample_record.fs
+            )
+        )
+        manager = SessionManager(ServiceConfig())
+        dirty = queue.Queue()
+        start_consumer(manager, dirty)
+        shard_dispatch(manager, dirty, {"op": "open", "session": "p"})
+        for seq in range(4):
+            lo = seq * 5 * FS
+            reply = shard_dispatch(
+                manager,
+                dirty,
+                chunk_message(
+                    "p", seq, sample_record.data[:, lo : lo + 5 * FS]
+                ),
+            )
+            assert reply["ok"] and reply["accepted"]
+        polled = shard_dispatch(
+            manager, dirty, {"op": "poll", "session": "p"}
+        )
+        closed = shard_dispatch(
+            manager, dirty, {"op": "close", "session": "p"}
+        )
+        assert polled["ok"] and closed["ok"]
+        decided = polled["events"] + closed["trailing_events"]
+        assert decided == [d.to_dict() for d in expected]
+        shutdown = shard_dispatch(manager, dirty, {"op": "shutdown"})
+        assert shutdown["ok"]
+        telemetry = shutdown["telemetry"]
+        assert telemetry["chunks"]["processed"] == 4
+        assert "samples_ms" in telemetry["latency"]
+        dirty.put(None)
+
+
+class TestShardPool:
+    def test_parity_across_chunkings_and_shards(self, sample_record):
+        """The tentpole contract: pooled per-session decisions are
+        byte-identical to the batch path at any chunking, with the two
+        sessions living on *different* worker processes."""
+        batch = batch_window_decisions(sample_record)
+        # Pick ids on different shards so the parity run covers both
+        # worker processes, not one shard twice.
+        ids = [f"p{i}" for i in range(16)]
+        a = next(s for s in ids if shard_index_of(s, 2) == 0)
+        b = next(s for s in ids if shard_index_of(s, 2) == 1)
+        steps = {a: 4 * FS, b: 7 * FS}  # two different chunkings
+
+        async def go():
+            config = ServiceConfig(queue_depth=256, workers=2)
+            async with ServiceShardPool(config) as pool:
+                assert {pool.shard_of(a), pool.shard_of(b)} == {0, 1}
+                results = {}
+                for sid, step in steps.items():
+                    await pool.open_session(sid)
+                    for seq, lo in enumerate(
+                        range(0, sample_record.n_samples, step)
+                    ):
+                        result = await pool.ingest(
+                            sid,
+                            sample_record.data[:, lo : lo + step],
+                            seq=seq,
+                        )
+                        assert result.accepted
+                    events = await pool.poll_events(sid)
+                    summary = await pool.close_session(sid)
+                    results[sid] = events + list(summary.trailing_events)
+                merged = await pool.snapshot()
+                return results, merged
+
+        results, merged = run(go())
+        assert results[a] == batch
+        assert results[b] == batch
+        assert merged["workers"] == 2 and len(merged["shards"]) == 2
+        assert merged["sessions"]["opened"] == 2
+        # Both shards actually hosted work.
+        hosted = [
+            s["sessions"]["opened"] for s in merged["shards"]
+        ]
+        assert hosted == [1, 1]
+
+    def test_stop_drains_every_shard(self, sample_record):
+        """Chunks admitted before stop() are decided, never dropped."""
+
+        async def go():
+            pool = ServiceShardPool(ServiceConfig(queue_depth=256), workers=2)
+            await pool.start()
+            sids = [f"p{i}" for i in range(4)]
+            for sid in sids:
+                await pool.open_session(sid)
+                for seq in range(3):
+                    lo = seq * 6 * FS
+                    await pool.ingest(
+                        sid, sample_record.data[:, lo : lo + 6 * FS], seq=seq
+                    )
+            return await pool.stop()  # no explicit drain first
+
+        merged = run(go())
+        assert merged["chunks"]["ingested"] == 12
+        assert merged["chunks"]["processed"] == 12  # drained, not dropped
+        assert merged["queue"]["depth"] == 0
+        assert merged["windows"]["decided"] > 0
+
+    def test_dead_shard_is_an_error_not_a_hang(self):
+        async def go():
+            pool = ServiceShardPool(workers=2)
+            await pool.start()
+            victim = pool.shard_of("p")
+            process = pool._clients[victim].process
+            process.kill()  # SIGKILL: workers ignore SIGTERM by design
+            await asyncio.get_running_loop().run_in_executor(
+                None, process.join, 10.0
+            )
+            with pytest.raises(ServiceError):
+                await pool.open_session("p")
+            # The surviving shard still answers, and stop() completes.
+            merged = await pool.stop()
+            return merged
+
+        merged = run(go())
+        assert merged["workers"] == 1  # only the survivor reported
+
+    def test_socket_front_end_routes_and_merges(self, sample_record):
+        """One listener, same wire protocol, frames land on the owning
+        shard; telemetry answers fleet-wide."""
+        n = 20 * FS
+        expected = [
+            d.to_dict()
+            for d in batch_window_decisions(
+                type(sample_record)(
+                    data=sample_record.data[:, :n], fs=sample_record.fs
+                )
+            )
+        ]
+
+        async def go():
+            async with ServiceShardPool(workers=2) as pool:
+                host, port = await pool.serve()
+                reader, writer = await asyncio.open_connection(host, port)
+                try:
+                    opened = await request(
+                        reader, writer, {"op": "open", "session": "p"}
+                    )
+                    assert opened == {"ok": True, "session": "p"}
+                    for seq in range(4):
+                        lo = seq * 5 * FS
+                        reply = await request(
+                            reader,
+                            writer,
+                            chunk_message(
+                                "p",
+                                seq,
+                                sample_record.data[:, lo : lo + 5 * FS],
+                            ),
+                        )
+                        assert reply["ok"] and reply["accepted"]
+                    polled = await request(
+                        reader, writer, {"op": "poll", "session": "p"}
+                    )
+                    closed = await request(
+                        reader, writer, {"op": "close", "session": "p"}
+                    )
+                    telemetry = await request(
+                        reader, writer, {"op": "telemetry"}
+                    )
+                    bad_op = await request(reader, writer, {"op": "bogus"})
+                    missing = await request(reader, writer, {"op": "open"})
+                finally:
+                    writer.close()
+                    await writer.wait_closed()
+                return polled, closed, telemetry, bad_op, missing
+
+        polled, closed, telemetry, bad_op, missing = run(go())
+        assert polled["ok"]
+        assert polled["events"] + closed["trailing_events"] == expected
+        assert closed["ok"] and closed["error"] is None
+        merged = telemetry["telemetry"]
+        assert merged["workers"] == 2 and len(merged["shards"]) == 2
+        assert merged["chunks"]["ingested"] == 4
+        assert not bad_op["ok"] and "bogus" in bad_op["error"]
+        assert not missing["ok"] and "session" in missing["error"]

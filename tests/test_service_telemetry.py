@@ -1,0 +1,123 @@
+"""ServiceTelemetry.merge: fleet-wide folding of per-shard snapshots.
+
+Pins the merge contract standalone (no processes, no service): counters
+sum, the queue high-water mark is a max, percentiles are computed over
+the *pooled* latency samples (exact, not an average of per-shard
+percentiles), foreign schemas are refused, and the merged view
+serializes byte-stably through ``telemetry_to_json``.
+"""
+
+import json
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service import LatencySummary, ServiceTelemetry, telemetry_to_json
+
+
+def make_shard(latencies_s, opened=0, closed=0, rejected=0, shed=0,
+               high_water=0, windows_per_chunk=1):
+    """A real telemetry instance driven through its public surface."""
+    telemetry = ServiceTelemetry()
+    for _ in range(opened):
+        telemetry.session_opened()
+    for _ in range(closed):
+        telemetry.session_closed()
+    for latency in latencies_s:
+        telemetry.chunk_ingested(high_water)
+        telemetry.chunk_decided(latency, windows_per_chunk)
+    for _ in range(rejected):
+        telemetry.chunk_rejected()
+    if shed:
+        # Shed chunks must have been ingested first.
+        for _ in range(shed):
+            telemetry.chunk_ingested(high_water)
+        telemetry.chunks_dropped(shed)
+    return telemetry
+
+
+class TestMerge:
+    def test_counters_sum_and_high_water_is_max(self):
+        a = make_shard([0.001] * 3, opened=2, closed=1, rejected=1,
+                       high_water=5)
+        b = make_shard([0.002] * 4, opened=3, closed=3, shed=2,
+                       high_water=9)
+        merged = ServiceTelemetry.merge([
+            a.snapshot(include_samples=True),
+            b.snapshot(include_samples=True),
+        ])
+        assert merged["workers"] == 2
+        assert merged["sessions"]["opened"] == 5
+        assert merged["sessions"]["closed"] == 4
+        assert merged["chunks"]["ingested"] == 9  # 3 + 4 + 2 later shed
+        assert merged["chunks"]["processed"] == 7
+        assert merged["chunks"]["rejected"] == 1
+        assert merged["chunks"]["shed"] == 2
+        assert merged["windows"]["decided"] == 7
+        assert merged["queue"]["high_water"] == 9  # max, not sum
+        assert merged["latency"]["count"] == 7
+        assert merged["latency"]["total"] == 7
+
+    def test_percentiles_are_exact_over_pooled_samples(self):
+        # A fast shard and a slow shard: averaging their p99s would be
+        # wrong; pooling reproduces the percentile of the union.
+        fast = [0.001 * (i + 1) for i in range(50)]
+        slow = [0.100 * (i + 1) for i in range(50)]
+        merged = ServiceTelemetry.merge([
+            make_shard(fast).snapshot(include_samples=True),
+            make_shard(slow).snapshot(include_samples=True),
+        ])
+        # Same reduction the shards themselves use, over the union of
+        # the rounded-to-microsecond samples each shard shipped.
+        pooled_ms = [round(s * 1e3, 3) for s in fast + slow]
+        expected = LatencySummary([ms / 1e3 for ms in pooled_ms]).to_dict()
+        for key, value in expected.items():
+            assert merged["latency"][key] == value
+
+    def test_shard_breakdowns_kept_without_samples(self):
+        snap = make_shard([0.001, 0.002]).snapshot(include_samples=True)
+        merged = ServiceTelemetry.merge([snap])
+        assert len(merged["shards"]) == 1
+        shard_view = merged["shards"][0]
+        assert "samples_ms" not in shard_view["latency"]
+        assert shard_view["chunks"]["processed"] == 2
+        # The input snapshot is not mutated.
+        assert "samples_ms" in snap["latency"]
+
+    def test_sampleless_snapshots_merge_with_visible_gap(self):
+        snap = make_shard([0.001, 0.002]).snapshot()  # no samples
+        merged = ServiceTelemetry.merge([snap])
+        assert merged["latency"]["total"] == 2
+        assert merged["latency"]["count"] == 0  # gap is visible
+
+    def test_empty_merge_is_a_zero_fleet(self):
+        merged = ServiceTelemetry.merge([])
+        assert merged["workers"] == 0
+        assert merged["shards"] == []
+        assert merged["chunks"]["ingested"] == 0
+        assert merged["queue"]["high_water"] == 0
+        assert merged["latency"]["count"] == 0
+
+    def test_foreign_schema_is_refused(self):
+        good = make_shard([0.001]).snapshot(include_samples=True)
+        bad = dict(good, schema=99)
+        with pytest.raises(ServiceError):
+            ServiceTelemetry.merge([good, bad])
+        with pytest.raises(ServiceError):
+            ServiceTelemetry.merge([None])
+
+    def test_merged_snapshot_serializes_byte_stably(self):
+        shards = [
+            make_shard([0.001, 0.003], opened=1).snapshot(
+                include_samples=True
+            ),
+            make_shard([0.002], opened=2, rejected=1).snapshot(
+                include_samples=True
+            ),
+        ]
+        first = telemetry_to_json(ServiceTelemetry.merge(shards))
+        second = telemetry_to_json(ServiceTelemetry.merge(shards))
+        assert first == second
+        # Canonical form: sorted keys, no whitespace, valid JSON.
+        assert json.loads(first) == ServiceTelemetry.merge(shards)
+        assert " " not in first

@@ -9,6 +9,7 @@ from repro.settings import (
     DEFAULT_QUEUE_DEPTH,
     ENV_SERVICE_BACKPRESSURE,
     ENV_SERVICE_QUEUE_DEPTH,
+    ENV_SERVICE_WORKERS,
     ReproSettings,
 )
 
@@ -22,11 +23,13 @@ class TestDefaults:
         assert settings.paper_durations is False
         assert settings.service_queue_depth == DEFAULT_QUEUE_DEPTH
         assert settings.service_backpressure == "reject"
+        assert settings.service_workers == 1
 
     def test_to_dict(self):
         body = ReproSettings.from_env({}).to_dict()
         assert body["engine_executor"] == "process"
         assert body["service_queue_depth"] == DEFAULT_QUEUE_DEPTH
+        assert body["service_workers"] == 1
 
 
 class TestFromEnv:
@@ -39,6 +42,7 @@ class TestFromEnv:
                 "REPRO_PAPER_DURATIONS": "1",
                 ENV_SERVICE_QUEUE_DEPTH: "16",
                 ENV_SERVICE_BACKPRESSURE: "shed-oldest",
+                ENV_SERVICE_WORKERS: "4",
             }
         )
         assert settings.kernel_backend == "reference"
@@ -47,6 +51,7 @@ class TestFromEnv:
         assert settings.paper_durations is True
         assert settings.service_queue_depth == 16
         assert settings.service_backpressure == "shed-oldest"
+        assert settings.service_workers == 4
 
     def test_reads_process_environment_by_default(self, monkeypatch):
         monkeypatch.setenv(ENV_SERVICE_QUEUE_DEPTH, "5")
@@ -71,6 +76,12 @@ class TestFromEnv:
         with pytest.raises(ServiceError):
             ReproSettings.from_env({ENV_SERVICE_BACKPRESSURE: "drop"})
 
+    def test_bad_workers_raises(self):
+        with pytest.raises(ServiceError):
+            ReproSettings.from_env({ENV_SERVICE_WORKERS: "many"})
+        with pytest.raises(ServiceError):
+            ReproSettings.from_env({ENV_SERVICE_WORKERS: "0"})
+
     def test_bad_executor_uses_canonical_parser(self):
         with pytest.raises(EngineError):
             ReproSettings.from_env({"REPRO_ENGINE_EXECUTOR": "gpu"})
@@ -82,6 +93,8 @@ class TestValidation:
             ReproSettings(service_queue_depth=0)
         with pytest.raises(ServiceError):
             ReproSettings(service_backpressure="drop")
+        with pytest.raises(ServiceError):
+            ReproSettings(service_workers=0)
 
 
 class TestResolvers:
@@ -128,8 +141,15 @@ class TestThreading:
 
     def test_service_config_from_env_snapshot(self):
         settings = ReproSettings.from_env(
-            {ENV_SERVICE_QUEUE_DEPTH: "3", ENV_SERVICE_BACKPRESSURE: "reject"}
+            {
+                ENV_SERVICE_QUEUE_DEPTH: "3",
+                ENV_SERVICE_BACKPRESSURE: "reject",
+                ENV_SERVICE_WORKERS: "2",
+            }
         )
         config = ServiceConfig.from_settings(settings)
         assert config.queue_depth == 3
         assert config.backpressure == "reject"
+        assert config.workers == 2
+        # Explicit override still wins over the env snapshot.
+        assert ServiceConfig.from_settings(settings, workers=1).workers == 1
