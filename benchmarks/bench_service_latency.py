@@ -176,8 +176,13 @@ def bench_pool(
     4 s chunks (vs the in-process fleet's 1 s) amortize the per-frame
     IPC cost so the measurement reflects shard compute scaling, not
     JSON framing overhead.  A parity probe streams the whole record
-    through one pooled session first — the pool may not be measured
-    while its decisions differ from the batch pipeline's.
+    through one pooled session first — over a real socket via the typed
+    :class:`~repro.service.client.ServiceClient`, so the full wire path
+    (hello handshake, framing, admission gate, shard routing) is what
+    gets parity-checked — the pool may not be measured while its
+    decisions differ from the batch pipeline's.  The timed load then
+    runs on the in-process path so the scaling numbers keep measuring
+    shard compute, not one benchmark socket.
     """
     import asyncio
 
@@ -185,6 +190,7 @@ def bench_pool(
 
     from repro.data.dataset import SyntheticEEGDataset
     from repro.service import (
+        ServiceClient,
         ServiceConfig,
         ServiceShardPool,
         batch_window_decisions,
@@ -218,19 +224,32 @@ def bench_pool(
             workers=workers, queue_depth=max(64, rounds + 8)
         )
         async with ServiceShardPool(config) as pool:
-            # Parity probe (untimed): one full record, 4 s chunks.
-            await pool.open_session("parity")
-            for seq, lo in enumerate(range(0, record.n_samples, step)):
-                result = await pool.ingest(
-                    "parity", record.data[:, lo : lo + step], seq=seq
-                )
-                if not result.accepted:
-                    raise AssertionError(
-                        f"parity probe rejected at chunk {seq}"
+            # Parity probe (untimed): one full record, 4 s chunks,
+            # streamed over the wire through the typed client.
+            host, port = await pool.serve()
+
+            def probe() -> list:
+                with ServiceClient(host, port) as client:
+                    client.open("parity")
+                    for seq, lo in enumerate(
+                        range(0, record.n_samples, step)
+                    ):
+                        result = client.push(
+                            "parity", record.data[:, lo : lo + step],
+                            seq=seq,
+                        )
+                        if not result.accepted:
+                            raise AssertionError(
+                                f"parity probe rejected at chunk {seq}"
+                            )
+                    streamed = client.poll("parity")
+                    streamed += list(
+                        client.close("parity").trailing_events
                     )
-            streamed = await pool.poll_events("parity")
-            streamed += list(
-                (await pool.close_session("parity")).trailing_events
+                    return streamed
+
+            streamed = await asyncio.get_running_loop().run_in_executor(
+                None, probe
             )
             if streamed != batch:
                 raise AssertionError(

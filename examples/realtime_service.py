@@ -9,7 +9,10 @@ Three views of :mod:`repro.service`:
    decision stream byte-identical to the batch pipeline;
 3. the asyncio :class:`DetectionService` hosting concurrent sessions
    with bounded queues and explicit backpressure, plus the latency
-   telemetry snapshot.
+   telemetry snapshot;
+4. the hardened wire protocol: a token-authenticated listener dialed
+   with :func:`repro.api.connect`, whose typed :class:`ServiceClient`
+   streams chunks and surfaces structured quota/auth denials.
 
 Run:
     python examples/realtime_service.py
@@ -23,6 +26,7 @@ import asyncio
 
 
 from repro import SyntheticEEGDataset, api
+from repro.exceptions import AuthError
 from repro.service import (
     DetectorSession,
     Replayer,
@@ -91,6 +95,45 @@ def main() -> None:
             print("telemetry:", telemetry_to_json(service.snapshot()))
 
     asyncio.run(serve_concurrently())
+
+    # --- 4. the hardened wire protocol --------------------------------
+    # Clients dial in with api.connect: a versioned hello handshake,
+    # an auth token checked by the admission gate, and per-client
+    # quotas that come back as typed errors — not hung sockets.
+    async def serve_hardened() -> None:
+        config = ServiceConfig(
+            auth_tokens=("wearable-01",), max_sessions_per_client=2
+        )
+        async with api.start_service(config) as service:
+            host, port = await service.serve()
+            loop = asyncio.get_running_loop()
+
+            def stream_as_client() -> None:
+                try:
+                    api.connect(host, port, token="bogus")
+                except AuthError as exc:
+                    print(f"\nbad token denied: [{exc.code.value}] {exc}")
+                with api.connect(host, port, token="wearable-01") as client:
+                    client.open("wearable")
+                    for seq in range(5):
+                        lo = seq * 2 * fs
+                        client.push(
+                            "wearable", record.data[:, lo : lo + 2 * fs],
+                            seq=seq,
+                        )
+                    decisions = client.poll("wearable")
+                    summary = client.close("wearable")
+                    print(
+                        f"client: {summary.chunks} chunks -> "
+                        f"{len(decisions) + len(summary.trailing_events)} "
+                        f"decisions over the socket"
+                    )
+
+            await loop.run_in_executor(None, stream_as_client)
+            admission = service.snapshot()["admission"]
+            print(f"admission telemetry: {admission}")
+
+    asyncio.run(serve_hardened())
 
 
 if __name__ == "__main__":

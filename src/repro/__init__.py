@@ -121,12 +121,13 @@ from .selflearning import (
     SelfLearningReport,
 )
 from . import api
-from .api import evaluate_cohort, extract, open_source, start_service
+from .api import connect, evaluate_cohort, extract, open_source, start_service
 from .service import (
     DetectionService,
     DetectorSession,
     Replayer,
     ReplayReport,
+    ServiceClient,
     ServiceConfig,
     ServiceTelemetry,
     SessionManager,
@@ -139,6 +140,7 @@ __all__ = [
     "__version__",
     # facade
     "api",
+    "connect",
     "evaluate_cohort",
     "extract",
     "open_source",
@@ -150,6 +152,7 @@ __all__ = [
     "DetectorSession",
     "ReplayReport",
     "Replayer",
+    "ServiceClient",
     "ServiceConfig",
     "ServiceTelemetry",
     "SessionManager",

@@ -1,7 +1,7 @@
-"""The one-stop facade: four verbs covering the repository's workflows.
+"""The one-stop facade: five verbs covering the repository's workflows.
 
 Every subsystem keeps its full surface (``repro.data``, ``repro.engine``,
-``repro.service``, ...), but the common paths compress to four calls:
+``repro.service``, ...), but the common paths compress to five calls:
 
 * :func:`open_source` — anything record-like (an EDF path, an in-memory
   :class:`~repro.data.records.EEGRecord`, dataset coordinates) becomes a
@@ -13,8 +13,11 @@ Every subsystem keeps its full surface (``repro.data``, ``repro.engine``,
 * :func:`start_service` — a configured real-time
   :class:`~repro.service.ingest.DetectionService` ready to ``start()``/
   ``serve()``.
+* :func:`connect` — a typed :class:`~repro.service.client.ServiceClient`
+  speaking the versioned socket protocol to a running service
+  (handshake, auth token, open/push/poll/close).
 
-All four resolve their environment knobs through one
+All five resolve their environment knobs through one
 :class:`~repro.settings.ReproSettings` snapshot (pass ``settings=`` to
 pin, omit to read the environment once per call)::
 
@@ -39,6 +42,7 @@ from .data.sources import ArrayRecordSource, EDFRecordSource, RecordSource
 from .engine.chunked import extract_features_from_source
 from .engine.executor import CohortEngine
 from .exceptions import DataError
+from .service.client import ServiceClient
 from .service.config import ServiceConfig
 from .service.fleet import ServiceShardPool
 from .service.ingest import DetectionService
@@ -50,7 +54,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from .features.extraction import FeatureMatrix
     from .signals.windowing import WindowSpec
 
-__all__ = ["open_source", "extract", "evaluate_cohort", "start_service"]
+__all__ = [
+    "open_source",
+    "extract",
+    "evaluate_cohort",
+    "start_service",
+    "connect",
+]
 
 #: Duration range used by ``evaluate_cohort(quick=True)`` — long enough
 #: for every paper seizure to fit, short enough for smoke runs.
@@ -187,3 +197,25 @@ def start_service(
     if config.workers > 1:
         return ServiceShardPool(config)
     return DetectionService(config)
+
+
+def connect(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    *,
+    token: str | None = None,
+    handshake: bool = True,
+    timeout: float = 30.0,
+) -> ServiceClient:
+    """Connect to a running detection service as a typed client.
+
+    Performs the versioned ``hello`` handshake (with ``token`` when the
+    service enforces auth) and returns a
+    :class:`~repro.service.client.ServiceClient` — ``open`` / ``push`` /
+    ``poll`` / ``close`` with the service's own result types, usable as
+    a context manager.  ``handshake=False`` speaks the versionless
+    legacy protocol (accepted while the service has auth disabled).
+    """
+    return ServiceClient(
+        host, port, token=token, handshake=handshake, timeout=timeout
+    )

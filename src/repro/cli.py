@@ -145,9 +145,18 @@ def _service_config(args: argparse.Namespace):
         overrides["queue_depth"] = args.queue_depth
     if args.backpressure is not None:
         overrides["backpressure"] = args.backpressure
-    # Only `serve` exposes --workers; replay stays single-process.
+    # Only `serve` exposes --workers and the hardening flags; replay
+    # stays single-process and unauthenticated.
     if getattr(args, "workers", None) is not None:
         overrides["workers"] = args.workers
+    if getattr(args, "auth_token", None):
+        overrides["auth_tokens"] = tuple(args.auth_token)
+    if getattr(args, "max_sessions_per_client", None) is not None:
+        overrides["max_sessions_per_client"] = args.max_sessions_per_client
+    if getattr(args, "chunk_rate", None) is not None:
+        overrides["chunk_rate"] = args.chunk_rate
+    if getattr(args, "replay_buffer", None) is not None:
+        overrides["replay_buffer"] = args.replay_buffer
     return ServiceConfig.from_settings(**overrides)
 
 
@@ -567,6 +576,30 @@ def build_parser() -> argparse.ArgumentParser:
         "$REPRO_SERVICE_WORKERS, else 1 = single-process); sessions "
         "are routed to shards by a stable hash of their id, so "
         "per-session decisions are byte-identical at any N",
+    )
+    p_serve.add_argument(
+        "--auth-token", action="append", default=None, metavar="TOKEN",
+        help="accepted client auth token (repeatable; default: "
+        "$REPRO_SERVICE_AUTH_TOKENS, comma-separated).  With any token "
+        "configured, clients must hello with one before other ops",
+    )
+    p_serve.add_argument(
+        "--max-sessions-per-client", type=int, default=None, metavar="N",
+        help="per-client cap on concurrently open sessions (default: "
+        "$REPRO_SERVICE_MAX_SESSIONS, else 0 = unlimited)",
+    )
+    p_serve.add_argument(
+        "--chunk-rate", type=float, default=None, metavar="R",
+        help="per-client sustained chunk admission rate per second, "
+        "with one second of burst (default: $REPRO_SERVICE_CHUNK_RATE, "
+        "else 0 = unlimited)",
+    )
+    p_serve.add_argument(
+        "--replay-buffer", type=int, default=None, metavar="N",
+        help="per-session journal bound (admitted chunks) for re-homing "
+        "sessions after a worker shard dies (default: "
+        "$REPRO_SERVICE_REPLAY_BUFFER, else 256; 0 disables restart "
+        "and re-homing)",
     )
     p_serve.add_argument(
         "--max-seconds", type=float, default=None, metavar="S",

@@ -138,3 +138,49 @@ class RandomForestClassifier:
     @property
     def is_fitted(self) -> bool:
         return bool(self.trees_)
+
+    # ------------------------------------------------------------------
+    # Serialization (live detector hot-swap / cross-process shipping)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Plain-data export of a fitted forest (JSON-safe)."""
+        if not self.trees_ or self.classes_ is None:
+            raise ModelError("forest is not fitted; nothing to serialize")
+        return {
+            "classes": self.classes_.tolist(),
+            "trees": [tree.to_state() for tree in self.trees_],
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+            "bootstrap": self.bootstrap,
+            "class_weight": self.class_weight,
+            "random_state": self.random_state,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RandomForestClassifier":
+        """Rebuild a fitted forest from :meth:`to_state` output; the
+        rebuilt ensemble scores bit-identically to the original."""
+        try:
+            forest = cls(
+                n_estimators=state.get("n_estimators", len(state["trees"])),
+                max_depth=state.get("max_depth"),
+                min_samples_split=state.get("min_samples_split", 2),
+                min_samples_leaf=state.get("min_samples_leaf", 1),
+                max_features=state.get("max_features"),
+                bootstrap=state.get("bootstrap", True),
+                class_weight=state.get("class_weight"),
+                random_state=state.get("random_state"),
+            )
+            forest.classes_ = np.asarray(state["classes"])
+            forest.trees_ = [
+                DecisionTreeClassifier.from_state(tree)
+                for tree in state["trees"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(f"bad forest state: {exc}") from None
+        if not forest.trees_:
+            raise ModelError("bad forest state: no trees")
+        return forest

@@ -237,6 +237,60 @@ class DecisionTreeClassifier:
         return int(depths.max())
 
     # ------------------------------------------------------------------
+    # Serialization (live detector hot-swap / cross-process shipping)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Plain-data export of a fitted tree.
+
+        JSON-safe by construction (ints, floats, nested lists); float64
+        thresholds and leaf distributions round-trip exactly through
+        ``repr`` so a deserialized tree scores bit-identically.
+        """
+        if self.classes_ is None:
+            raise ModelError("tree is not fitted; nothing to serialize")
+        return {
+            "classes": self.classes_.tolist(),
+            "feature": list(self._feature),
+            "threshold": list(self._threshold),
+            "left": list(self._left),
+            "right": list(self._right),
+            "proba": [row.tolist() for row in self._proba],
+            "max_depth": self.max_depth,
+            "min_samples_split": self.min_samples_split,
+            "min_samples_leaf": self.min_samples_leaf,
+            "max_features": self.max_features,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "DecisionTreeClassifier":
+        """Rebuild a fitted tree from :meth:`to_state` output.
+
+        The training ``random_state`` is deliberately not shipped (a
+        generator is not state-portable); the rebuilt tree predicts
+        identically and can only be refit with an explicit seed.
+        """
+        try:
+            tree = cls(
+                max_depth=state.get("max_depth"),
+                min_samples_split=state.get("min_samples_split", 2),
+                min_samples_leaf=state.get("min_samples_leaf", 1),
+                max_features=state.get("max_features"),
+            )
+            tree.classes_ = np.asarray(state["classes"])
+            tree._feature = [int(v) for v in state["feature"]]
+            tree._threshold = [float(v) for v in state["threshold"]]
+            tree._left = [int(v) for v in state["left"]]
+            tree._right = [int(v) for v in state["right"]]
+            tree._proba = [
+                np.asarray(row, dtype=float) for row in state["proba"]
+            ]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ModelError(f"bad tree state: {exc}") from None
+        if not tree._feature or tree.classes_.size < 1:
+            raise ModelError("bad tree state: empty tree")
+        return tree
+
+    # ------------------------------------------------------------------
     # Validation helpers
     # ------------------------------------------------------------------
     @staticmethod

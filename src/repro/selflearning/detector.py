@@ -99,6 +99,73 @@ class RealTimeDetector:
         return self._forest is not None
 
     # ------------------------------------------------------------------
+    # Serialization (live hot-swap into running service shards)
+    # ------------------------------------------------------------------
+    def to_state(self) -> dict:
+        """Plain-data export of a *fitted* detector.
+
+        JSON-safe by construction; every float round-trips exactly, so
+        a deserialized detector's :meth:`row_probabilities` is
+        bit-identical to the original's — the property the service's
+        ``swap_detector`` verb and re-homing replay rely on.  The
+        extractor is shipped by class name and rebuilt with default
+        construction (both paper extractors are default-constructible).
+        """
+        if self._forest is None:
+            raise ModelError("detector is not fitted; nothing to serialize")
+        assert self._scaler.mean_ is not None and self._scaler.std_ is not None
+        return {
+            "kind": "RealTimeDetector",
+            "extractor": type(self.extractor).__name__,
+            "spec": [self.spec.length_s, self.spec.step_s],
+            "n_estimators": self.n_estimators,
+            "max_depth": self.max_depth,
+            "threshold": self.threshold,
+            "min_consecutive": self.min_consecutive,
+            "seed": self.seed,
+            "scaler": {
+                "mean": self._scaler.mean_.tolist(),
+                "std": self._scaler.std_.tolist(),
+            },
+            "forest": self._forest.to_state(),
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RealTimeDetector":
+        """Rebuild a fitted detector from :meth:`to_state` output."""
+        from ..features.paper10 import Paper10FeatureExtractor
+
+        extractors = {
+            "EGlassFeatureExtractor": EGlassFeatureExtractor,
+            "Paper10FeatureExtractor": Paper10FeatureExtractor,
+        }
+        try:
+            extractor_cls = extractors[state["extractor"]]
+            detector = cls(
+                extractor=extractor_cls(),
+                spec=WindowSpec(*(float(v) for v in state["spec"])),
+                n_estimators=int(state["n_estimators"]),
+                max_depth=state["max_depth"],
+                threshold=float(state["threshold"]),
+                min_consecutive=int(state["min_consecutive"]),
+                seed=int(state["seed"]),
+            )
+            detector._scaler.mean_ = np.asarray(
+                state["scaler"]["mean"], dtype=float
+            )
+            detector._scaler.std_ = np.asarray(
+                state["scaler"]["std"], dtype=float
+            )
+            detector._forest = RandomForestClassifier.from_state(
+                state["forest"]
+            )
+        except KeyError as exc:
+            raise ModelError(f"bad detector state: missing {exc}") from None
+        except (TypeError, ValueError) as exc:
+            raise ModelError(f"bad detector state: {exc}") from None
+        return detector
+
+    # ------------------------------------------------------------------
     # Inference
     # ------------------------------------------------------------------
     def row_probabilities(self, values: np.ndarray) -> np.ndarray:

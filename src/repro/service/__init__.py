@@ -20,8 +20,11 @@ record, for any chunking — the batch/stream parity discipline extended
 to the live path.
 """
 
+from .admission import AdmissionGate
+from .client import ServiceClient
 from .config import ServiceConfig
 from .fleet import ServiceShardPool, shard_index_of
+from .framing import PROTOCOL_VERSION
 from .ingest import DetectionService
 from .manager import IngestResult, SessionManager, SessionSummary
 from .replayer import Replayer, ReplayReport
@@ -33,18 +36,23 @@ from .session import (
     WindowDetector,
     batch_window_decisions,
     decisions_from_scores,
+    detector_from_state,
+    detector_state_of,
 )
 from .telemetry import LatencySummary, ServiceTelemetry, telemetry_to_json
 
 __all__ = [
+    "AdmissionGate",
     "DetectionService",
     "DetectorSession",
     "FeatureThresholdDetector",
     "ForestWindowDetector",
     "IngestResult",
     "LatencySummary",
+    "PROTOCOL_VERSION",
     "ReplayReport",
     "Replayer",
+    "ServiceClient",
     "ServiceConfig",
     "ServiceShardPool",
     "ServiceTelemetry",
@@ -54,6 +62,8 @@ __all__ = [
     "WindowDetector",
     "batch_window_decisions",
     "decisions_from_scores",
+    "detector_from_state",
+    "detector_state_of",
     "shard_index_of",
     "telemetry_to_json",
 ]

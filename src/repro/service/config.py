@@ -20,6 +20,7 @@ from ..features.paper10 import Paper10FeatureExtractor
 from ..settings import (
     BACKPRESSURE_POLICIES,
     DEFAULT_QUEUE_DEPTH,
+    DEFAULT_REPLAY_BUFFER,
     ReproSettings,
 )
 from ..signals.windowing import WindowSpec
@@ -59,6 +60,25 @@ class ServiceConfig:
         :class:`~repro.service.fleet.ServiceShardPool` of that many
         processes, one listener in front.  Per-session decisions are
         byte-identical at any value (session-sticky routing).
+    auth_tokens:
+        Accepted client tokens for the versioned ``hello`` handshake.
+        Empty (the default) disables authentication — versionless
+        legacy clients keep working; any non-empty tuple requires every
+        socket client to hello with a listed token before other ops.
+    max_sessions_per_client:
+        Concurrently open sessions one client identity (token, or the
+        connection itself for anonymous clients) may hold; 0 means
+        unlimited.
+    chunk_rate:
+        Sustained chunk frames/second budget per client, enforced as a
+        token bucket with one second of burst; 0 means unlimited.
+    replay_buffer:
+        Admitted chunks the shard-pool parent journals per session.  A
+        killed worker is restarted and its sessions re-homed by
+        replaying these journals, byte-identical to an unkilled run; a
+        session whose journal overflowed the bound is surfaced as lost
+        (``shard-death``) instead of silently diverging.  0 disables
+        resilience (a dead shard errors its sessions).
     """
 
     fs: float = 256.0
@@ -69,6 +89,10 @@ class ServiceConfig:
     backpressure: str = "reject"
     threshold: float = 0.0
     workers: int = 1
+    auth_tokens: tuple[str, ...] = ()
+    max_sessions_per_client: int = 0
+    chunk_rate: float = 0.0
+    replay_buffer: int = DEFAULT_REPLAY_BUFFER
 
     def __post_init__(self) -> None:
         if self.fs <= 0:
@@ -90,20 +114,43 @@ class ServiceConfig:
             raise ServiceError(
                 f"workers must be >= 1, got {self.workers}"
             )
+        if not isinstance(self.auth_tokens, tuple):
+            # Normalize lists (CLI --auth-token append) into the frozen
+            # tuple form so configs stay hashable and comparable.
+            object.__setattr__(self, "auth_tokens", tuple(self.auth_tokens))
+        if any(not token for token in self.auth_tokens):
+            raise ServiceError("auth_tokens must not contain empty tokens")
+        if self.max_sessions_per_client < 0:
+            raise ServiceError(
+                f"max_sessions_per_client must be >= 0, got "
+                f"{self.max_sessions_per_client}"
+            )
+        if not self.chunk_rate >= 0:
+            raise ServiceError(
+                f"chunk_rate must be >= 0, got {self.chunk_rate}"
+            )
+        if self.replay_buffer < 0:
+            raise ServiceError(
+                f"replay_buffer must be >= 0, got {self.replay_buffer}"
+            )
 
     @classmethod
     def from_settings(
         cls, settings: ReproSettings | None = None, **overrides
     ) -> "ServiceConfig":
-        """Build a config whose queue/backpressure defaults come from a
-        :class:`~repro.settings.ReproSettings` snapshot (environment
-        knobs), with explicit keyword overrides winning."""
+        """Build a config whose queue/backpressure/admission defaults
+        come from a :class:`~repro.settings.ReproSettings` snapshot
+        (environment knobs), with explicit keyword overrides winning."""
         if settings is None:
             settings = ReproSettings.from_env()
         values: dict = {
             "queue_depth": settings.service_queue_depth,
             "backpressure": settings.service_backpressure,
             "workers": settings.service_workers,
+            "auth_tokens": settings.service_auth_tokens,
+            "max_sessions_per_client": settings.service_max_sessions,
+            "chunk_rate": settings.service_chunk_rate,
+            "replay_buffer": settings.service_replay_buffer,
         }
         values.update(overrides)
         return cls(**values)

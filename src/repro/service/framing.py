@@ -37,14 +37,24 @@ from typing import BinaryIO
 
 import numpy as np
 
-from ..exceptions import ServiceError
+from ..exceptions import (
+    AuthError,
+    BackpressureError,
+    QuotaError,
+    ServiceError,
+    ServiceErrorCode,
+    ShardDeathError,
+)
 
 __all__ = [
     "MAX_FRAME_BYTES",
+    "PROTOCOL_VERSION",
     "chunk_message",
     "decode_chunk",
     "decode_payload",
     "encode_frame",
+    "error_frame",
+    "exception_for",
     "read_frame",
     "read_frame_sync",
     "write_frame",
@@ -55,6 +65,11 @@ __all__ = [
 #: treated as a protocol violation (protects the server from a single
 #: garbage frame allocating gigabytes).
 MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Version of the socket protocol spoken after a ``hello`` handshake.
+#: Versionless clients (no hello frame) speak the PR 7 legacy protocol,
+#: which stays accepted while the service has auth disabled.
+PROTOCOL_VERSION = 1
 
 _LEN = struct.Struct(">I")
 
@@ -76,6 +91,43 @@ def decode_payload(payload: bytes) -> dict:
     if not isinstance(message, dict):
         raise ServiceError("frame payload must be a JSON object")
     return message
+
+
+#: code string -> exception class, the inverse of ``exc.code`` for
+#: clients rebuilding a typed exception from a wire error frame.
+_CODE_CLASSES: dict[str, type[ServiceError]] = {
+    ServiceErrorCode.AUTH.value: AuthError,
+    ServiceErrorCode.QUOTA.value: QuotaError,
+    ServiceErrorCode.BACKPRESSURE.value: BackpressureError,
+    ServiceErrorCode.PROTOCOL.value: ServiceError,
+    ServiceErrorCode.SHARD_DEATH.value: ShardDeathError,
+}
+
+
+def error_frame(
+    exc: Exception | str, code: ServiceErrorCode | None = None
+) -> dict:
+    """The one structured error frame: ``{"ok": False, "error", "code"}``.
+
+    Every error any transport emits is built here so the ``code`` field
+    is never forgotten.  Pass an exception (a :class:`ServiceError`'s
+    class carries its code; anything else is ``protocol``) or a bare
+    message, plus an optional explicit code override.
+    """
+    if code is None:
+        code = getattr(exc, "code", ServiceErrorCode.PROTOCOL)
+    return {"ok": False, "error": str(exc), "code": code.value}
+
+
+def exception_for(reply: dict) -> ServiceError:
+    """Rebuild the typed exception an error reply encodes.
+
+    Unknown or missing codes degrade to plain :class:`ServiceError`
+    (``protocol``), so old servers and hand-built frames stay readable.
+    """
+    message = str(reply.get("error", "service error"))
+    cls = _CODE_CLASSES.get(str(reply.get("code", "")), ServiceError)
+    return cls(message)
 
 
 def _check_length(length: int) -> None:

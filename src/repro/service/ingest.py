@@ -15,8 +15,15 @@ Wire protocol (one frame per message, both directions)::
 
 Requests are JSON objects with an ``op`` field:
 
-``{"op": "open", "session": id}``
-    Register a session.
+``{"op": "hello", "version": 1, "token": t?}``
+    The versioned handshake (see :mod:`repro.service.admission`).
+    Optional while auth is disabled — versionless legacy clients skip
+    it — and mandatory (with a configured token) when the service has
+    ``auth_tokens``.
+``{"op": "open", "session": id, "state": detector?}``
+    Register a session; ``state`` optionally carries a serialized
+    :meth:`~repro.selflearning.detector.RealTimeDetector.to_state`
+    payload so the session scores with that fitted forest.
 ``{"op": "chunk", "session": id, "seq": n, "shape": [c, n], "data": b64}``
     One signal chunk; ``data`` is base64 of the row-major float64
     samples.  The response carries the ingest result (accepted / queued
@@ -26,12 +33,17 @@ Requests are JSON objects with an ``op`` field:
 ``{"op": "close", "session": id}``
     Finalize; the response carries the session summary (including the
     short-stream error, if any) and trailing events.
+``{"op": "swap_detector", "state": detector}``
+    Drain, then hot-swap every open session (and the default for new
+    ones) to the serialized detector — at a window boundary, without
+    dropping a session.
 ``{"op": "telemetry"}``
     The service telemetry snapshot.
 
-Every response is ``{"ok": true, ...}`` or ``{"ok": false, "error":
-message}`` — a malformed frame fails its own request, never the
-connection.
+Every response is ``{"ok": true, ...}`` or the structured error frame
+``{"ok": false, "error": message, "code": ServiceErrorCode}`` — a
+malformed frame fails its own request, never the connection (fatal
+admission denials close it cleanly after the error frame).
 """
 
 from __future__ import annotations
@@ -43,15 +55,15 @@ import json
 import numpy as np
 
 from ..exceptions import ReproError, ServiceError
+from .admission import AdmissionGate, serve_connection
 from .config import ServiceConfig
 from .framing import (
     MAX_FRAME_BYTES,
     decode_chunk,
-    read_frame,
-    write_frame,
+    error_frame,
 )
 from .manager import IngestResult, SessionManager
-from .session import WindowDetector
+from .session import WindowDetector, detector_from_state
 from .telemetry import telemetry_to_json
 
 __all__ = ["DetectionService", "MAX_FRAME_BYTES"]
@@ -76,6 +88,7 @@ class DetectionService:
         self.manager = (
             manager if manager is not None else SessionManager(config)
         )
+        self.gate = AdmissionGate(self.manager.config, self.manager.telemetry)
         self._dirty: asyncio.Queue[str] = asyncio.Queue()
         self._consumer: asyncio.Task | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -157,6 +170,17 @@ class DetectionService:
         # for already-decided chunks are absorbed by the pump no-op.
         return self.manager.close_session(session_id, drain=drain)
 
+    async def swap_detector(self, detector: WindowDetector) -> int:
+        """Drain, then hot-swap every open session's detector.
+
+        The drain pins the swap point deterministically: every chunk
+        admitted before this call is decided by the old detector, every
+        chunk after by the new one — a window boundary by the manager's
+        lock discipline.  Returns the number of sessions swapped.
+        """
+        await self.drain()
+        return self.manager.swap_detector(detector)
+
     def snapshot(self) -> dict:
         return self.manager.snapshot()
 
@@ -178,30 +202,18 @@ class DetectionService:
     async def _handle_client(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
     ) -> None:
-        try:
-            while True:
-                try:
-                    message = await read_frame(reader)
-                except ServiceError as exc:
-                    write_frame(writer, {"ok": False, "error": str(exc)})
-                    await writer.drain()
-                    break  # framing is broken; the stream cannot recover
-                if message is None:
-                    break
-                write_frame(writer, await self._dispatch(message))
-                await writer.drain()
-        finally:
-            writer.close()
-            try:
-                await writer.wait_closed()
-            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-                pass
+        await serve_connection(reader, writer, self.gate, self._dispatch)
 
     async def _dispatch(self, message: dict) -> dict:
         try:
             op = message.get("op")
             if op == "open":
-                session = await self.open_session(str(message["session"]))
+                detector = None
+                if message.get("state") is not None:
+                    detector = detector_from_state(message["state"])
+                session = await self.open_session(
+                    str(message["session"]), detector
+                )
                 return {"ok": True, "session": session.session_id}
             if op == "chunk":
                 result = await self.ingest(
@@ -224,6 +236,11 @@ class DetectionService:
                     e.to_dict() for e in summary.trailing_events
                 ]
                 return {"ok": True, **body}
+            if op == "swap_detector":
+                swapped = await self.swap_detector(
+                    detector_from_state(message["state"])
+                )
+                return {"ok": True, "sessions": swapped}
             if op == "telemetry":
                 return {
                     "ok": True,
@@ -231,6 +248,6 @@ class DetectionService:
                 }
             raise ServiceError(f"unknown op {op!r}")
         except KeyError as exc:
-            return {"ok": False, "error": f"missing field {exc}"}
+            return error_frame(f"missing field {exc}")
         except ReproError as exc:
-            return {"ok": False, "error": str(exc)}
+            return error_frame(exc)

@@ -114,6 +114,9 @@ class SessionManager:
         self.telemetry = telemetry or ServiceTelemetry()
         self._sessions: dict[str, _SessionState] = {}
         self._lock = threading.Lock()
+        #: Detector given to sessions opened without one; ``None`` keeps
+        #: the config-threshold default.  Installed by :meth:`swap_detector`.
+        self._default_detector: WindowDetector | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -123,6 +126,8 @@ class SessionManager:
     ) -> DetectorSession:
         """Create and register a session; duplicate ids are an error."""
         session_id = str(session_id)
+        if detector is None:
+            detector = self._default_detector
         session = DetectorSession(session_id, self.config, detector)
         with self._lock:
             if session_id in self._sessions:
@@ -225,6 +230,37 @@ class SessionManager:
         state = self._state(session_id)
         with state.lock:
             return len(state.queue)
+
+    # ------------------------------------------------------------------
+    # Live detector hot-swap
+    # ------------------------------------------------------------------
+    def swap_detector(self, detector: WindowDetector) -> int:
+        """Install ``detector`` into every open session, and as the
+        default for sessions opened afterwards.
+
+        Each session swaps under its own state lock — the same lock
+        :meth:`pump` holds while deciding a chunk — so the swap always
+        lands *between* chunk decisions, i.e. at a window boundary:
+        every window is scored wholly by the old or wholly by the new
+        detector, never half-way.  No session is dropped, no queued
+        chunk is lost.  Returns the number of live sessions swapped.
+
+        Callers wanting a deterministic swap point (the hot-swap
+        parity tests, the shard ``swap_detector`` verb) drain first so
+        the boundary is "after every admitted chunk so far".
+        """
+        swapped = 0
+        self._default_detector = detector
+        for session_id in self.session_ids:
+            try:
+                state = self._state(session_id)
+            except ServiceError:
+                continue  # closed concurrently
+            with state.lock:
+                if not state.session.closed:
+                    state.session.detector = detector
+                    swapped += 1
+        return swapped
 
     # ------------------------------------------------------------------
     # Pump (consumer side)

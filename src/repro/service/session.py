@@ -44,6 +44,8 @@ __all__ = [
     "DetectorSession",
     "batch_window_decisions",
     "decisions_from_scores",
+    "detector_from_state",
+    "detector_state_of",
 ]
 
 
@@ -136,6 +138,41 @@ class ForestWindowDetector(WindowDetector):
 
     def scores(self, rows: np.ndarray) -> np.ndarray:
         return self.detector.row_probabilities(rows)
+
+
+def detector_from_state(state: dict) -> ForestWindowDetector:
+    """Rebuild a :class:`ForestWindowDetector` from a serialized
+    :meth:`RealTimeDetector.to_state` payload.
+
+    The deserialization point every IPC surface shares — the ``open``
+    frame's optional ``state`` field and the ``swap_detector`` verb —
+    so a forest retrained by the self-learning loop crosses process
+    boundaries exactly one way.  Scoring is bit-identical to the
+    original fitted detector (float64 survives the JSON round trip).
+    """
+    if not isinstance(state, dict):
+        raise ServiceError(
+            f"detector state must be a JSON object, got {type(state).__name__}"
+        )
+    return ForestWindowDetector(RealTimeDetector.from_state(state))
+
+
+def detector_state_of(
+    detector: "RealTimeDetector | ForestWindowDetector | dict",
+) -> dict:
+    """Normalize any hot-swap argument to its serialized state — the
+    inverse entry point of :func:`detector_from_state`, shared by the
+    shard pool's broadcast and the socket client."""
+    if isinstance(detector, ForestWindowDetector):
+        detector = detector.detector
+    if isinstance(detector, RealTimeDetector):
+        return detector.to_state()
+    if isinstance(detector, dict):
+        return detector
+    raise ServiceError(
+        f"cannot serialize {type(detector).__name__}: need a fitted "
+        f"RealTimeDetector, ForestWindowDetector, or its state dict"
+    )
 
 
 def decisions_from_scores(

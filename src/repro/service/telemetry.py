@@ -50,8 +50,10 @@ __all__ = [
 DEFAULT_MAX_SAMPLES = 100_000
 
 #: Snapshot schema version, bumped on any key change so tooling can
-#: detect exports it does not understand.
-SCHEMA_VERSION = 1
+#: detect exports it does not understand.  v2 added the ``admission``
+#: (handshake/auth/quota) and ``resilience`` (shard restart/re-homing)
+#: sections.
+SCHEMA_VERSION = 2
 
 
 class LatencySummary:
@@ -108,6 +110,12 @@ class ServiceTelemetry:
         self.windows_decided = 0
         self.queue_depth = 0
         self.queue_high_water = 0
+        self.handshakes = 0
+        self.auth_failures = 0
+        self.quota_rejected = 0
+        self.shard_restarts = 0
+        self.sessions_rehomed = 0
+        self.sessions_lost = 0
 
     # ------------------------------------------------------------------
     def session_opened(self) -> None:
@@ -147,6 +155,37 @@ class ServiceTelemetry:
             self.windows_decided += n_windows
             self._samples.append(latency_s)
             self._latency_total += 1
+
+    # ------------------------------------------------------------------
+    def handshake_ok(self) -> None:
+        """One client completed the versioned hello handshake."""
+        with self._lock:
+            self.handshakes += 1
+
+    def auth_failed(self) -> None:
+        """One frame denied for a bad/missing token or version."""
+        with self._lock:
+            self.auth_failures += 1
+
+    def quota_exceeded(self) -> None:
+        """One frame denied by a per-client session/rate quota."""
+        with self._lock:
+            self.quota_rejected += 1
+
+    def shard_restarted(self) -> None:
+        """One dead worker shard was detected and respawned."""
+        with self._lock:
+            self.shard_restarts += 1
+
+    def session_rehomed(self) -> None:
+        """One session replayed onto a restarted shard, stream intact."""
+        with self._lock:
+            self.sessions_rehomed += 1
+
+    def session_lost(self) -> None:
+        """One session could not be re-homed after a shard death."""
+        with self._lock:
+            self.sessions_lost += 1
 
     # ------------------------------------------------------------------
     def latency(self) -> LatencySummary:
@@ -192,6 +231,16 @@ class ServiceTelemetry:
                 "queue": {
                     "depth": self.queue_depth,
                     "high_water": self.queue_high_water,
+                },
+                "admission": {
+                    "handshakes": self.handshakes,
+                    "auth_failures": self.auth_failures,
+                    "quota_rejected": self.quota_rejected,
+                },
+                "resilience": {
+                    "shard_restarts": self.shard_restarts,
+                    "sessions_rehomed": self.sessions_rehomed,
+                    "sessions_lost": self.sessions_lost,
                 },
                 "latency": latency,
             }
@@ -262,6 +311,16 @@ class ServiceTelemetry:
                     (s["queue"]["high_water"] for s in snapshots),
                     default=0,
                 ),
+            },
+            "admission": {
+                "handshakes": total("admission", "handshakes"),
+                "auth_failures": total("admission", "auth_failures"),
+                "quota_rejected": total("admission", "quota_rejected"),
+            },
+            "resilience": {
+                "shard_restarts": total("resilience", "shard_restarts"),
+                "sessions_rehomed": total("resilience", "sessions_rehomed"),
+                "sessions_lost": total("resilience", "sessions_lost"),
             },
             "latency": dict(
                 latency.to_dict(),

@@ -30,8 +30,13 @@ __all__ = [
     "ENV_SERVICE_QUEUE_DEPTH",
     "ENV_SERVICE_BACKPRESSURE",
     "ENV_SERVICE_WORKERS",
+    "ENV_SERVICE_AUTH_TOKENS",
+    "ENV_SERVICE_MAX_SESSIONS",
+    "ENV_SERVICE_CHUNK_RATE",
+    "ENV_SERVICE_REPLAY_BUFFER",
     "BACKPRESSURE_POLICIES",
     "DEFAULT_QUEUE_DEPTH",
+    "DEFAULT_REPLAY_BUFFER",
     "ReproSettings",
 ]
 
@@ -41,6 +46,14 @@ ENV_SERVICE_QUEUE_DEPTH = "REPRO_SERVICE_QUEUE_DEPTH"
 ENV_SERVICE_BACKPRESSURE = "REPRO_SERVICE_BACKPRESSURE"
 #: Worker shard processes of the detection service (1 = in-process).
 ENV_SERVICE_WORKERS = "REPRO_SERVICE_WORKERS"
+#: Comma-separated client auth tokens; empty disables authentication.
+ENV_SERVICE_AUTH_TOKENS = "REPRO_SERVICE_AUTH_TOKENS"
+#: Max concurrently open sessions per client (0 = unlimited).
+ENV_SERVICE_MAX_SESSIONS = "REPRO_SERVICE_MAX_SESSIONS"
+#: Sustained chunk frames/second budget per client (0 = unlimited).
+ENV_SERVICE_CHUNK_RATE = "REPRO_SERVICE_CHUNK_RATE"
+#: Per-session replay journal depth for shard re-homing (0 = off).
+ENV_SERVICE_REPLAY_BUFFER = "REPRO_SERVICE_REPLAY_BUFFER"
 
 #: ``reject`` refuses the new chunk (the caller sees a rejected
 #: IngestResult / BackpressureError); ``shed-oldest`` drops the oldest
@@ -49,6 +62,12 @@ ENV_SERVICE_WORKERS = "REPRO_SERVICE_WORKERS"
 BACKPRESSURE_POLICIES = ("reject", "shed-oldest")
 
 DEFAULT_QUEUE_DEPTH = 64
+
+#: Chunks of re-homing journal the pool parent keeps per session.  256
+#: one-second chunks cover minutes of stream at the paper's geometry
+#: while bounding parent memory; 0 disables resilience entirely
+#: (a dead shard then errors its sessions, the PR 9 behavior).
+DEFAULT_REPLAY_BUFFER = 256
 
 
 def _queue_depth_from(env: Mapping[str, str]) -> int:
@@ -83,6 +102,63 @@ def _workers_from(env: Mapping[str, str]) -> int:
             f"{ENV_SERVICE_WORKERS} must be >= 1, got {workers}"
         )
     return workers
+
+
+def _auth_tokens_from(env: Mapping[str, str]) -> tuple[str, ...]:
+    raw = env.get(ENV_SERVICE_AUTH_TOKENS, "")
+    tokens = tuple(part.strip() for part in raw.split(",") if part.strip())
+    return tokens
+
+
+def _max_sessions_from(env: Mapping[str, str]) -> int:
+    raw = env.get(ENV_SERVICE_MAX_SESSIONS, "").strip()
+    if not raw:
+        return 0
+    try:
+        limit = int(raw)
+    except ValueError:
+        raise ServiceError(
+            f"{ENV_SERVICE_MAX_SESSIONS} must be an integer, got {raw!r}"
+        ) from None
+    if limit < 0:
+        raise ServiceError(
+            f"{ENV_SERVICE_MAX_SESSIONS} must be >= 0, got {limit}"
+        )
+    return limit
+
+
+def _chunk_rate_from(env: Mapping[str, str]) -> float:
+    raw = env.get(ENV_SERVICE_CHUNK_RATE, "").strip()
+    if not raw:
+        return 0.0
+    try:
+        rate = float(raw)
+    except ValueError:
+        raise ServiceError(
+            f"{ENV_SERVICE_CHUNK_RATE} must be a number, got {raw!r}"
+        ) from None
+    if rate < 0 or rate != rate:  # NaN guard
+        raise ServiceError(
+            f"{ENV_SERVICE_CHUNK_RATE} must be >= 0, got {raw!r}"
+        )
+    return rate
+
+
+def _replay_buffer_from(env: Mapping[str, str]) -> int:
+    raw = env.get(ENV_SERVICE_REPLAY_BUFFER, "").strip()
+    if not raw:
+        return DEFAULT_REPLAY_BUFFER
+    try:
+        depth = int(raw)
+    except ValueError:
+        raise ServiceError(
+            f"{ENV_SERVICE_REPLAY_BUFFER} must be an integer, got {raw!r}"
+        ) from None
+    if depth < 0:
+        raise ServiceError(
+            f"{ENV_SERVICE_REPLAY_BUFFER} must be >= 0, got {depth}"
+        )
+    return depth
 
 
 def _backpressure_from(env: Mapping[str, str]) -> str:
@@ -123,6 +199,22 @@ class ReproSettings:
         :envvar:`REPRO_SERVICE_WORKERS` — how many worker shard
         processes the detection service runs its sessions across
         (1, the default, keeps the PR 7 single-process service).
+    service_auth_tokens:
+        :envvar:`REPRO_SERVICE_AUTH_TOKENS` split on commas; any
+        non-empty set turns the versioned ``hello`` handshake from
+        optional into mandatory for every socket client.
+    service_max_sessions:
+        :envvar:`REPRO_SERVICE_MAX_SESSIONS` — concurrently open
+        sessions one client may hold (0 = unlimited).
+    service_chunk_rate:
+        :envvar:`REPRO_SERVICE_CHUNK_RATE` — sustained chunk
+        frames/second budget per client, enforced as a token bucket
+        with one second of burst (0 = unlimited).
+    service_replay_buffer:
+        :envvar:`REPRO_SERVICE_REPLAY_BUFFER` — admitted chunks the
+        shard-pool parent journals per session so a killed worker's
+        sessions can be re-homed byte-identically (0 disables
+        resilience).
     """
 
     kernel_backend: str | None = None
@@ -132,6 +224,10 @@ class ReproSettings:
     service_queue_depth: int = DEFAULT_QUEUE_DEPTH
     service_backpressure: str = "reject"
     service_workers: int = 1
+    service_auth_tokens: tuple[str, ...] = ()
+    service_max_sessions: int = 0
+    service_chunk_rate: float = 0.0
+    service_replay_buffer: int = DEFAULT_REPLAY_BUFFER
 
     def __post_init__(self) -> None:
         if self.service_queue_depth < 1:
@@ -147,6 +243,21 @@ class ReproSettings:
         if self.service_workers < 1:
             raise ServiceError(
                 f"service_workers must be >= 1, got {self.service_workers}"
+            )
+        if self.service_max_sessions < 0:
+            raise ServiceError(
+                f"service_max_sessions must be >= 0, got "
+                f"{self.service_max_sessions}"
+            )
+        if not self.service_chunk_rate >= 0:
+            raise ServiceError(
+                f"service_chunk_rate must be >= 0, got "
+                f"{self.service_chunk_rate}"
+            )
+        if self.service_replay_buffer < 0:
+            raise ServiceError(
+                f"service_replay_buffer must be >= 0, got "
+                f"{self.service_replay_buffer}"
             )
 
     @classmethod
@@ -197,6 +308,10 @@ class ReproSettings:
             service_queue_depth=_queue_depth_from(env),
             service_backpressure=_backpressure_from(env),
             service_workers=_workers_from(env),
+            service_auth_tokens=_auth_tokens_from(env),
+            service_max_sessions=_max_sessions_from(env),
+            service_chunk_rate=_chunk_rate_from(env),
+            service_replay_buffer=_replay_buffer_from(env),
         )
 
     # ------------------------------------------------------------------

@@ -33,6 +33,22 @@ def seizure_free_record(dataset):
     return dataset.generate_seizure_free(1, 120.0, 0)
 
 
+@pytest.fixture(scope="session")
+def fitted_detector(dataset):
+    """A small fitted RealTimeDetector on the service's default
+    (Paper10) feature family — shared by the serialization and
+    hot-swap suites, which only need *a* deterministic fitted forest."""
+    from repro.features.paper10 import Paper10FeatureExtractor
+    from repro.ml.validation import build_balanced_training_set
+    from repro.selflearning.detector import RealTimeDetector
+
+    ex = Paper10FeatureExtractor()
+    seiz = [dataset.generate_sample(8, k, 0) for k in (0, 1)]
+    free = [dataset.generate_seizure_free(8, 180.0, 0)]
+    ts = build_balanced_training_set(seiz, free, ex, context_s=30.0)
+    return RealTimeDetector(extractor=ex, n_estimators=8).fit(ts)
+
+
 @pytest.fixture()
 def counter(monkeypatch):
     """Counts every record the engine pipeline actually processes.

@@ -1,4 +1,6 @@
-"""The ``repro.api`` facade: four verbs over the full pipeline."""
+"""The ``repro.api`` facade: five verbs over the full pipeline."""
+
+import asyncio
 
 import numpy as np
 import pytest
@@ -14,7 +16,7 @@ from repro.data.sources import (
 from repro.exceptions import DataError
 from repro.features.extraction import extract_features
 from repro.features.paper10 import Paper10FeatureExtractor
-from repro.service import DetectionService, ServiceConfig
+from repro.service import DetectionService, ServiceClient, ServiceConfig
 from repro.settings import ReproSettings
 
 
@@ -123,12 +125,53 @@ class TestStartService:
         )
 
 
+class TestConnect:
+    def test_connect_returns_typed_client_round_trip(self, sample_record):
+        """The fifth verb: dial a served pool and stream through the
+        typed client, decisions matching the batch path."""
+        from repro.service import batch_window_decisions
+
+        record = sample_record
+        n = 6 * 256
+        batch = batch_window_decisions(
+            type(record)(data=record.data[:, :n], fs=record.fs)
+        )
+
+        async def go():
+            async with DetectionService(ServiceConfig()) as service:
+                host, port = await service.serve()
+                loop = asyncio.get_running_loop()
+
+                def stream():
+                    with api.connect(host, port) as client:
+                        assert isinstance(client, ServiceClient)
+                        client.open("p")
+                        for seq in range(6):
+                            lo = seq * 256
+                            result = client.push(
+                                "p", record.data[:, lo : lo + 256], seq=seq
+                            )
+                            assert result.accepted
+                        events = client.poll("p")
+                        summary = client.close("p")
+                        return events + list(summary.trailing_events)
+
+                return await loop.run_in_executor(None, stream)
+
+        assert run_async(go()) == batch
+
+
+def run_async(coro):
+    return asyncio.run(coro)
+
+
 class TestPackageSurface:
     def test_facade_exported_from_top_level(self):
         assert repro.open_source is api.open_source
         assert repro.extract is api.extract
         assert repro.evaluate_cohort is api.evaluate_cohort
         assert repro.start_service is api.start_service
+        assert repro.connect is api.connect
         assert repro.api is api
 
     def test_service_types_exported(self):
@@ -137,6 +180,7 @@ class TestPackageSurface:
             "DetectorSession",
             "Replayer",
             "ReplayReport",
+            "ServiceClient",
             "ServiceConfig",
             "SessionManager",
             "ReproSettings",

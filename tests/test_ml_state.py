@@ -1,0 +1,110 @@
+"""Serialization round-trips: tree, forest, and detector state.
+
+The hot-swap and re-homing machinery ships retrained detectors between
+processes as ``to_state()`` payloads; these tests pin the contract that
+a JSON round trip reproduces *bit-identical* scores — window decisions
+after a swap or a shard restart must not drift by one ULP.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ModelError
+from repro.ml.forest import RandomForestClassifier
+from repro.ml.tree import DecisionTreeClassifier
+from repro.selflearning.detector import RealTimeDetector
+
+
+def make_xy(n=200, d=6, seed=3):
+    rng = np.random.default_rng(seed)
+    values = rng.standard_normal((n, d))
+    labels = (values[:, 0] + 0.5 * values[:, 1] > 0).astype(np.int64)
+    return values, labels
+
+
+def json_round_trip(state):
+    """Exactly what the wire does to a state payload."""
+    return json.loads(json.dumps(state))
+
+
+class TestTreeState:
+    def test_round_trip_scores_bit_identical(self):
+        values, labels = make_xy()
+        tree = DecisionTreeClassifier(max_depth=6, random_state=1)
+        tree.fit(values, labels)
+        probe = np.random.default_rng(9).standard_normal((64, values.shape[1]))
+        rebuilt = DecisionTreeClassifier.from_state(
+            json_round_trip(tree.to_state())
+        )
+        assert np.array_equal(
+            tree.predict_proba(probe), rebuilt.predict_proba(probe)
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier().to_state()
+
+    def test_bad_state_raises(self):
+        with pytest.raises(ModelError):
+            DecisionTreeClassifier.from_state({"classes": [0, 1]})
+
+
+class TestForestState:
+    def test_round_trip_probabilities_bit_identical(self):
+        values, labels = make_xy()
+        forest = RandomForestClassifier(
+            n_estimators=7, max_depth=5, random_state=2
+        )
+        forest.fit(values, labels)
+        probe = np.random.default_rng(4).standard_normal((64, values.shape[1]))
+        rebuilt = RandomForestClassifier.from_state(
+            json_round_trip(forest.to_state())
+        )
+        assert rebuilt.is_fitted
+        assert np.array_equal(
+            forest.predict_proba(probe), rebuilt.predict_proba(probe)
+        )
+        assert np.array_equal(forest.classes_, rebuilt.classes_)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier().to_state()
+
+    def test_bad_state_raises(self):
+        with pytest.raises(ModelError):
+            RandomForestClassifier.from_state({"trees": []})
+
+
+class TestDetectorState:
+    def test_round_trip_probabilities_bit_identical(self, fitted_detector):
+        state = json_round_trip(fitted_detector.to_state())
+        rebuilt = RealTimeDetector.from_state(state)
+        assert rebuilt.is_fitted
+        assert rebuilt.threshold == fitted_detector.threshold
+        assert rebuilt.spec == fitted_detector.spec
+        assert type(rebuilt.extractor) is type(fitted_detector.extractor)
+        probe = np.random.default_rng(11).standard_normal(
+            (32, fitted_detector.extractor.n_features)
+        )
+        assert np.array_equal(
+            fitted_detector.row_probabilities(probe),
+            rebuilt.row_probabilities(probe),
+        )
+
+    def test_unfitted_raises(self):
+        with pytest.raises(ModelError):
+            RealTimeDetector().to_state()
+
+    def test_unknown_extractor_raises(self, fitted_detector):
+        state = fitted_detector.to_state()
+        state["extractor"] = "NoSuchExtractor"
+        with pytest.raises(ModelError):
+            RealTimeDetector.from_state(state)
+
+    def test_missing_field_raises(self, fitted_detector):
+        state = fitted_detector.to_state()
+        del state["scaler"]
+        with pytest.raises(ModelError):
+            RealTimeDetector.from_state(state)

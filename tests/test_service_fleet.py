@@ -247,8 +247,11 @@ class TestShardPool:
         assert merged["windows"]["decided"] > 0
 
     def test_dead_shard_is_an_error_not_a_hang(self):
+        """With resilience off (replay_buffer=0) the PR 9 contract holds:
+        a dead shard fails its requests instead of restarting."""
+
         async def go():
-            pool = ServiceShardPool(workers=2)
+            pool = ServiceShardPool(ServiceConfig(replay_buffer=0), workers=2)
             await pool.start()
             victim = pool.shard_of("p")
             process = pool._clients[victim].process
